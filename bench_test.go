@@ -1,0 +1,438 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Sec. IV), plus ablations and component-level benches.
+//
+//	go test -bench=. -benchmem
+//
+// Experiment index (see DESIGN.md):
+//
+//	BenchmarkFig4MaleSimple   — Fig. 4: male_simple generation + CFD-substitute validation
+//	BenchmarkTableI           — Table I: the full 288-instance evaluation grid
+//	BenchmarkTableIRow/*      — Table I, one row (use case) at the Fig. 4 operating point
+//	BenchmarkGenerateByModules— scalability of design generation, 3–8 modules (generic use cases)
+//	BenchmarkAblation*        — design-choice ablations (resistance model, minor losses)
+//	Benchmark<component>      — substrate kernels (meander synthesis, nodal solve, FDM)
+package ooc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ooc"
+	"ooc/internal/core"
+	"ooc/internal/fluid"
+	"ooc/internal/linalg"
+	"ooc/internal/meander"
+	"ooc/internal/physio"
+	"ooc/internal/report"
+	"ooc/internal/sim"
+	"ooc/internal/units"
+	"ooc/internal/usecases"
+)
+
+// BenchmarkFig4MaleSimple regenerates the Fig. 4 experiment: the
+// male_simple chip at µ=7.2e-4 Pa·s, τ=1.5 Pa, spacing 1 mm, validated
+// with the CFD substitute. Reported metrics: worst module-flow and
+// perfusion deviations in percent (the figure quotes 0.86–1.90 % and
+// 0.09–1.95 %).
+func BenchmarkFig4MaleSimple(b *testing.B) {
+	in := usecases.Fig4Instance()
+	var rep *sim.Report
+	for i := 0; i < b.N; i++ {
+		d, err := core.Generate(in.Spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err = sim.Validate(d, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.MaxFlowDeviation*100, "flowdev-max-%")
+	b.ReportMetric(rep.MaxPerfDeviation*100, "perfdev-max-%")
+	if b.N == 1 {
+		b.Logf("\n%s", report.FormatFig4(rep))
+	}
+}
+
+// BenchmarkTableI regenerates the entire Table I evaluation: all eight
+// use cases over the extended 3×3×4 grid (288 instances, matching the
+// paper's reported design count), aggregated into per-use-case average
+// and worst-case deviations.
+func BenchmarkTableI(b *testing.B) {
+	cases := usecases.All()
+	sweep := usecases.ExtendedSweep()
+	var tbl report.Table
+	for i := 0; i < b.N; i++ {
+		tbl = report.Table{}
+		for _, uc := range cases {
+			var reps []*sim.Report
+			failures := 0
+			for _, in := range usecases.Instances([]usecases.UseCase{uc}, sweep) {
+				d, err := core.Generate(in.Spec)
+				if err != nil {
+					failures++
+					continue
+				}
+				rep, err := sim.Validate(d, sim.Options{})
+				if err != nil {
+					failures++
+					continue
+				}
+				reps = append(reps, rep)
+			}
+			tbl.Rows = append(tbl.Rows, report.Aggregate(uc.Name, uc.ModuleCount, reps, failures))
+		}
+		tbl.Sort()
+	}
+	var worstFlow, worstPerf float64
+	for _, r := range tbl.Rows {
+		if r.FlowMax > worstFlow {
+			worstFlow = r.FlowMax
+		}
+		if r.PerfMax > worstPerf {
+			worstPerf = r.PerfMax
+		}
+	}
+	b.ReportMetric(worstFlow, "flowdev-max-%")
+	b.ReportMetric(worstPerf, "perfdev-max-%")
+	if b.N == 1 {
+		b.Logf("\n%s", tbl.Format())
+	}
+}
+
+// BenchmarkTableIRow runs one Table I row (one use case) at the Fig. 4
+// operating point — the per-chip cost of the evaluation.
+func BenchmarkTableIRow(b *testing.B) {
+	for _, uc := range usecases.All() {
+		uc := uc
+		b.Run(uc.Name, func(b *testing.B) {
+			spec := uc.Build()
+			var rep *sim.Report
+			for i := 0; i < b.N; i++ {
+				d, err := core.Generate(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err = sim.Validate(d, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.AvgFlowDeviation*100, "flowdev-avg-%")
+			b.ReportMetric(rep.AvgPerfDeviation*100, "perfdev-avg-%")
+		})
+	}
+}
+
+// BenchmarkGenerateByModules measures how design generation scales
+// with the number of organ modules (the paper's scalability argument
+// for generic1–generic4, extended down to 3).
+func BenchmarkGenerateByModules(b *testing.B) {
+	for n := 3; n <= 8; n++ {
+		n := n
+		b.Run(fmt.Sprintf("modules=%d", n), func(b *testing.B) {
+			spec := ooc.Spec{
+				Name:         fmt.Sprintf("bench%d", n),
+				Reference:    ooc.StandardMale(),
+				OrganismMass: ooc.Kilograms(1e-6),
+				Fluid:        ooc.MediumLowViscosity,
+				ShearStress:  ooc.PascalsShear(1.5),
+			}
+			for i := 0; i < n; i++ {
+				spec.Modules = append(spec.Modules, ooc.ModuleSpec{
+					Name:  fmt.Sprintf("liver%d", i),
+					Organ: ooc.Liver,
+					Kind:  ooc.Layered,
+				})
+			}
+			var d *ooc.Design
+			var err error
+			for i := 0; i < b.N; i++ {
+				d, err = ooc.Generate(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.Iterations), "iterations")
+			b.ReportMetric(d.Bounds.Width()*1e3, "chip-width-mm")
+		})
+	}
+}
+
+// BenchmarkAblationResistanceModel compares validation under the exact
+// Fourier-series model vs. the designer's Eq. 6 — quantifying the
+// model error the paper's footnote 1 concedes ("an approximation for
+// h/w → 0").
+func BenchmarkAblationResistanceModel(b *testing.B) {
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		opt  sim.Options
+	}{
+		{"exact", sim.Options{Model: sim.ModelExact, DisableBendLosses: true, DisableJunctionLosses: true}},
+		{"approx", sim.Options{Model: sim.ModelApprox, DisableBendLosses: true, DisableJunctionLosses: true}},
+	} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			var rep *sim.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = sim.Validate(d, m.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.MaxFlowDeviation*100, "flowdev-max-%")
+		})
+	}
+}
+
+// BenchmarkAblationMinorLosses isolates the contribution of each
+// minor-loss family (meander bends, T-junctions) to the validation
+// deviation.
+func BenchmarkAblationMinorLosses(b *testing.B) {
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		opt  sim.Options
+	}{
+		{"all-losses", sim.Options{}},
+		{"no-bends", sim.Options{DisableBendLosses: true}},
+		{"no-junctions", sim.Options{DisableJunctionLosses: true}},
+		{"straight-only", sim.Options{DisableBendLosses: true, DisableJunctionLosses: true}},
+	} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			var rep *sim.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = sim.Validate(d, m.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.MaxFlowDeviation*100, "flowdev-max-%")
+			b.ReportMetric(rep.MaxPerfDeviation*100, "perfdev-max-%")
+		})
+	}
+}
+
+// BenchmarkMeanderSynthesis measures the meander kernel at a typical
+// supply-channel problem.
+func BenchmarkMeanderSynthesis(b *testing.B) {
+	spec := meander.Spec{
+		Height:       10e-3,
+		TargetLength: 45e-3,
+		ChannelWidth: 225e-6,
+		Spacing:      1e-3,
+		MaxWidth:     8e-3,
+		Margin:       1.6e-3,
+		EndX:         1.225e-3,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := meander.Synthesize(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNodalSolve measures the lumped network solve for the
+// largest evaluation chip (generic4, 8 modules).
+func BenchmarkNodalSolve(b *testing.B) {
+	uc, err := usecases.ByName("generic4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.Generate(uc.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Validate(d, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossSectionFDM measures the Poisson cross-section solver
+// (the CFD-lite kernel) on the standard module channel.
+func BenchmarkCrossSectionFDM(b *testing.B) {
+	cs := fluid.CrossSection{Width: units.Millimetres(1), Height: units.Micrometres(150)}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.NumericResistance(cs, units.Millimetres(1), 7.2e-4, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDerive measures specification resolution alone (Eq. 1–4).
+func BenchmarkDerive(b *testing.B) {
+	spec := usecases.Fig4Instance().Spec
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Derive(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfusionTable measures the physiology lookups used per
+// design.
+func BenchmarkPerfusionTable(b *testing.B) {
+	ref := physio.StandardMale()
+	organs := []physio.OrganID{physio.Liver, physio.Lung, physio.Brain, physio.Kidney, physio.GITract}
+	for i := 0; i < b.N; i++ {
+		for _, o := range organs {
+			if _, err := physio.Perfusion(o, &ref, physio.DefaultDilution); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLUSolve measures the dense kernel at nodal-analysis sizes.
+func BenchmarkLUSolve(b *testing.B) {
+	n := 40
+	a := linalg.NewMatrix(n, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				a.Set(i, j, float64(n))
+			} else {
+				a.Set(i, j, 1/float64(1+i+j))
+			}
+		}
+		rhs[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportBolus measures the compound-transport simulation
+// (extension: pharmacokinetics on the generated chip).
+func BenchmarkTransportBolus(b *testing.B) {
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ooc.SimulateTransport(d, ooc.TransportConfig{Bolus: 1e-9, Duration: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MassBalanceError > 1e-6 {
+			b.Fatal("mass balance")
+		}
+	}
+}
+
+// BenchmarkToleranceAnalysis measures the Monte Carlo fabrication
+// study (extension).
+func BenchmarkToleranceAnalysis(b *testing.B) {
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *sim.ToleranceReport
+	for i := 0; i < b.N; i++ {
+		rep, err = sim.ToleranceAnalysis(d, sim.ToleranceConfig{
+			WidthSigma: 0.02, HeightSigma: 0.02, Samples: 100, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.FlowDev.Mean*100, "flowdev-mean-%")
+	b.ReportMetric(rep.YieldWithin["10%"]*100, "yield10-%")
+}
+
+// BenchmarkAblationPumpMode compares flow-controlled vs
+// pressure-controlled pump operation under the exact model.
+func BenchmarkAblationPumpMode(b *testing.B) {
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("flow-driven", func(b *testing.B) {
+		var rep *sim.Report
+		for i := 0; i < b.N; i++ {
+			rep, err = sim.Validate(d, sim.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.MaxFlowDeviation*100, "flowdev-max-%")
+	})
+	b.Run("pressure-driven", func(b *testing.B) {
+		var rep *sim.Report
+		for i := 0; i < b.N; i++ {
+			rep, err = sim.ValidatePressureDriven(d, sim.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.MaxFlowDeviation*100, "flowdev-max-%")
+	})
+}
+
+// BenchmarkFieldSolve measures the depth-averaged Hele-Shaw solve of
+// the full chip layout (the Fig. 4 velocity-field reproduction).
+func BenchmarkFieldSolve(b *testing.B) {
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var f *ooc.FlowField
+	for i := 0; i < b.N; i++ {
+		f, err = ooc.SolveFlowField(d, ooc.FieldOptions{CellSize: 150e-6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(f.ChannelCells), "channel-cells")
+	b.ReportMetric(float64(f.Iterations), "cg-iterations")
+}
+
+// BenchmarkBaselineNaive compares the paper's method against the
+// manual-design status quo: identical topology and dimensions but no
+// pressure correction. The reported deviations quantify the value of
+// the paper's central contribution.
+func BenchmarkBaselineNaive(b *testing.B) {
+	spec := usecases.Fig4Instance().Spec
+	for _, mode := range []struct {
+		name string
+		gen  func(core.Spec) (*core.Design, error)
+	}{
+		{"corrected", core.Generate},
+		{"naive-baseline", core.GenerateNaive},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var rep *sim.Report
+			for i := 0; i < b.N; i++ {
+				d, err := mode.gen(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err = sim.Validate(d, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.MaxFlowDeviation*100, "flowdev-max-%")
+			b.ReportMetric(rep.MaxPerfDeviation*100, "perfdev-max-%")
+		})
+	}
+}

@@ -1,0 +1,168 @@
+// Command oocbench reproduces the paper's evaluation (Sec. IV): it
+// generates every OoC instance of the use-case × parameter grid,
+// validates each generated design with the CFD-substitute pipeline,
+// and prints Table I (average and worst-case deviations in perfusion
+// and module flow rate per use case) as well as the Fig. 4 per-module
+// flow listing for male_simple.
+//
+// Usage:
+//
+//	oocbench              # extended 288-instance grid (matches the paper's count)
+//	oocbench -paper-grid  # the literal 3×3×3 grid from the text (216 instances)
+//	oocbench -fig4        # only the Fig. 4 validation
+//	oocbench -csv         # machine-readable Table I
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"ooc/internal/core"
+	"ooc/internal/report"
+	"ooc/internal/sim"
+	"ooc/internal/usecases"
+)
+
+func main() {
+	paperGrid := flag.Bool("paper-grid", false, "use the literal 3×3×3 parameter grid (216 instances) instead of the 288-instance extended grid")
+	fig4Only := flag.Bool("fig4", false, "only run the Fig. 4 male_simple validation")
+	csv := flag.Bool("csv", false, "emit Table I as CSV")
+	baseline := flag.Bool("baseline", false, "also evaluate the no-pressure-correction baseline on the Fig. 4 instance")
+	series := flag.Bool("series", false, "also print deviation-vs-parameter data series (spacing, viscosity, shear)")
+	flag.Parse()
+
+	if err := run(*paperGrid, *fig4Only, *csv, *baseline, *series); err != nil {
+		fmt.Fprintln(os.Stderr, "oocbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paperGrid, fig4Only, csv, baseline, series bool) error {
+	// Fig. 4: the representative male_simple instance.
+	fig4 := usecases.Fig4Instance()
+	d, err := core.Generate(fig4.Spec)
+	if err != nil {
+		return fmt.Errorf("fig4 generate: %w", err)
+	}
+	rep, err := sim.Validate(d, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("fig4 validate: %w", err)
+	}
+	fmt.Println(report.FormatFig4(rep))
+	if baseline {
+		nd, err := core.GenerateNaive(fig4.Spec)
+		if err != nil {
+			return fmt.Errorf("baseline generate: %w", err)
+		}
+		nrep, err := sim.Validate(nd, sim.Options{})
+		if err != nil {
+			return fmt.Errorf("baseline validate: %w", err)
+		}
+		fmt.Printf("baseline (no pressure correction): flow dev avg %.1f%% max %.1f%% | perf dev avg %.1f%% max %.1f%%\n",
+			nrep.AvgFlowDeviation*100, nrep.MaxFlowDeviation*100,
+			nrep.AvgPerfDeviation*100, nrep.MaxPerfDeviation*100)
+		fmt.Printf("method value: worst flow deviation improves %.0f× (%.1f%% → %.2f%%)\n\n",
+			nrep.MaxFlowDeviation/rep.MaxFlowDeviation,
+			nrep.MaxFlowDeviation*100, rep.MaxFlowDeviation*100)
+	}
+	if fig4Only {
+		return nil
+	}
+
+	sweep := usecases.ExtendedSweep()
+	gridName := "extended 3×3×4 grid (288 instances)"
+	if paperGrid {
+		sweep = usecases.PaperSweep()
+		gridName = "paper 3×3×3 grid (216 instances)"
+	}
+	cases := usecases.All()
+	fmt.Printf("Table I — %d use cases on the %s\n\n", len(cases), gridName)
+
+	type result struct {
+		useCase string
+		rep     *sim.Report
+		err     error
+	}
+	instances := usecases.Instances(cases, sweep)
+	results := make([]result, len(instances))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, in := range instances {
+		wg.Add(1)
+		go func(i int, in usecases.Instance) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			d, err := core.Generate(in.Spec)
+			if err != nil {
+				results[i] = result{useCase: in.UseCase, err: fmt.Errorf("%s: generate: %w", in.Label(), err)}
+				return
+			}
+			rep, err := sim.Validate(d, sim.Options{})
+			if err != nil {
+				results[i] = result{useCase: in.UseCase, err: fmt.Errorf("%s: validate: %w", in.Label(), err)}
+				return
+			}
+			results[i] = result{useCase: in.UseCase, rep: rep}
+		}(i, in)
+	}
+	wg.Wait()
+
+	var tbl report.Table
+	for _, uc := range cases {
+		var reps []*sim.Report
+		failures := 0
+		for _, r := range results {
+			if r.useCase != uc.Name {
+				continue
+			}
+			if r.err != nil {
+				failures++
+				fmt.Fprintln(os.Stderr, "warning:", r.err)
+				continue
+			}
+			reps = append(reps, r.rep)
+		}
+		tbl.Rows = append(tbl.Rows, report.Aggregate(uc.Name, uc.ModuleCount, reps, failures))
+	}
+	tbl.Sort()
+	if csv {
+		fmt.Print(tbl.CSV())
+	} else {
+		fmt.Print(tbl.Format())
+	}
+
+	if series {
+		fmt.Println()
+		var spacing, visc, shear []float64
+		var reps []*sim.Report
+		for i, r := range results {
+			if r.rep == nil {
+				continue
+			}
+			in := instances[i]
+			spacing = append(spacing, in.Spacing.Metres())
+			visc = append(visc, float64(in.Fluid.Viscosity))
+			shear = append(shear, float64(in.Shear))
+			reps = append(reps, r.rep)
+		}
+		for _, def := range []struct {
+			name string
+			keys []float64
+		}{
+			{"spacing [m]", spacing},
+			{"viscosity [Pa.s]", visc},
+			{"shear [Pa]", shear},
+		} {
+			s, err := report.AggregateSeries(def.name, def.keys, reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(report.FormatSeries(s))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Command oocgen generates an organ-on-chip design from a
+// specification and writes it as JSON and/or SVG.
+//
+// The specification comes either from a built-in use case (-usecase)
+// or from a JSON spec file (-spec). Example spec file:
+//
+//	{
+//	  "name": "my_chip",
+//	  "reference": "male",
+//	  "organism_mass_kg": 1e-6,
+//	  "viscosity_pa_s": 7.2e-4,
+//	  "shear_stress_pa": 1.5,
+//	  "spacing_m": 1e-3,
+//	  "modules": [
+//	    {"organ": "lung", "tissue": "layered"},
+//	    {"organ": "liver", "tissue": "layered"},
+//	    {"name": "tumor", "tissue": "round", "mass_kg": 2e-8, "perfusion": 0.2}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	oocgen -usecase male_simple -svg chip.svg -json chip.json
+//	oocgen -spec myspec.json -svg chip.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ooc"
+	"ooc/internal/specio"
+	"ooc/internal/usecases"
+)
+
+func main() {
+	useCase := flag.String("usecase", "", "built-in use case name (male_simple, female_simple, male_gi_tract, male_kidney, generic1..generic4)")
+	specPath := flag.String("spec", "", "path to a JSON specification file")
+	svgPath := flag.String("svg", "", "write the chip layout as SVG to this path")
+	jsonPath := flag.String("json", "", "write the design as JSON to this path")
+	dxfPath := flag.String("dxf", "", "write the chip layout as DXF (R12) to this path")
+	gdsPath := flag.String("gds", "", "write the chip layout as a GDSII mask stream to this path")
+	fieldPath := flag.String("field", "", "solve the depth-averaged flow field and write a velocity heatmap PNG to this path")
+	doReview := flag.Bool("review", false, "run the pre-fabrication design review and print findings")
+	validate := flag.Bool("validate", true, "validate the design with the CFD-substitute pipeline and print deviations")
+	flag.Parse()
+
+	if err := run(*useCase, *specPath, *svgPath, *jsonPath, *dxfPath, *gdsPath, *fieldPath, *doReview, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "oocgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(useCase, specPath, svgPath, jsonPath, dxfPath, gdsPath, fieldPath string, doReview, validate bool) error {
+	var spec ooc.Spec
+	switch {
+	case useCase != "" && specPath != "":
+		return fmt.Errorf("use either -usecase or -spec, not both")
+	case useCase != "":
+		uc, err := usecases.ByName(useCase)
+		if err != nil {
+			return err
+		}
+		spec = uc.Build()
+	case specPath != "":
+		raw, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		s, err := specio.Parse(raw)
+		if err != nil {
+			return err
+		}
+		spec = s
+	default:
+		return fmt.Errorf("need -usecase or -spec (try -usecase male_simple)")
+	}
+
+	design, err := ooc.Generate(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %q: %d modules, %d channels, chip %.1f × %.1f mm, %d iterations\n",
+		design.Name, len(design.Modules), len(design.Channels),
+		design.Bounds.Width()*1e3, design.Bounds.Height()*1e3, design.Iterations)
+	fmt.Printf("pumps: inlet %s, outlet %s, recirculation %s\n",
+		design.Pumps.Inlet, design.Pumps.Outlet, design.Pumps.Recirculation)
+	for _, m := range design.Modules {
+		fmt.Printf("  module %-10s %s × %s, mass %.3g kg, perfusion %.1f%%, flow %s\n",
+			m.Name, m.Width, m.Length, m.Mass.Kilograms(), m.Perfusion*100, m.FlowRate)
+	}
+
+	if validate {
+		rep, err := ooc.Validate(design, ooc.ValidationOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("validation: flow deviation avg %.2f%% max %.2f%%, perfusion deviation avg %.2f%% max %.2f%%\n",
+			rep.AvgFlowDeviation*100, rep.MaxFlowDeviation*100,
+			rep.AvgPerfDeviation*100, rep.MaxPerfDeviation*100)
+	}
+
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(ooc.RenderSVG(design)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", svgPath)
+	}
+	if jsonPath != "" {
+		raw, err := ooc.RenderJSON(design)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	if dxfPath != "" {
+		if err := os.WriteFile(dxfPath, []byte(ooc.RenderDXF(design)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", dxfPath)
+	}
+	if gdsPath != "" {
+		if err := os.WriteFile(gdsPath, ooc.RenderGDS(design), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", gdsPath)
+	}
+	if fieldPath != "" {
+		f, err := ooc.SolveFlowField(design, ooc.FieldOptions{})
+		if err != nil {
+			return err
+		}
+		out, err := os.Create(fieldPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := f.RenderPNG(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (max speed %.3g m/s)\n", fieldPath, f.MaxSpeed)
+	}
+	if doReview {
+		rev, err := ooc.ReviewDesign(design)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("design review: %d findings (%d errors, %d warnings), OK=%v\n",
+			len(rev.Findings), rev.Count(ooc.ReviewError), rev.Count(ooc.ReviewWarning), rev.OK())
+		for _, f := range rev.Findings {
+			fmt.Println(" ", f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package ooc_test
+
+import (
+	"fmt"
+	"log"
+
+	"ooc"
+)
+
+// Example generates the paper's male_simple chip and prints the
+// specification-level quantities the design realizes.
+func Example() {
+	spec := ooc.Spec{
+		Name:         "male_simple",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6),
+		Modules: []ooc.ModuleSpec{
+			{Organ: ooc.Lung, Kind: ooc.Layered},
+			{Organ: ooc.Liver, Kind: ooc.Layered},
+			{Organ: ooc.Brain, Kind: ooc.Layered},
+		},
+		Fluid:       ooc.MediumLowViscosity,
+		ShearStress: ooc.PascalsShear(1.5),
+	}
+	design, err := ooc.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	liver := design.Modules[1]
+	fmt.Printf("liver module: %.0f µm long, perfusion %.1f%%\n",
+		liver.Length.Micrometres(), liver.Perfusion*100)
+	fmt.Printf("module flow: %.4g m³/s\n", liver.FlowRate.CubicMetresPerSecond())
+	// Output:
+	// liver module: 90 µm long, perfusion 55.4%
+	// module flow: 7.812e-09 m³/s
+}
+
+// ExampleDerive shows the paper's Example 1 arithmetic: scaling a
+// liver module for a 1 mg miniaturized organism.
+func ExampleDerive() {
+	spec := ooc.Spec{
+		Name:         "example1",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6),
+		Modules:      []ooc.ModuleSpec{{Organ: ooc.Liver, Kind: ooc.Layered}},
+		Fluid:        ooc.MediumLowViscosity,
+		ShearStress:  ooc.PascalsShear(1.5),
+	}
+	res, err := ooc.Derive(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("liver module mass: %.3g kg\n", res.Modules[0].Mass.Kilograms())
+	// Output:
+	// liver module mass: 1.43e-08 kg
+}
+
+// ExampleValidate runs the CFD-substitute validation and prints the
+// aggregate deviations.
+func ExampleValidate() {
+	spec := ooc.Spec{
+		Name:         "validate_example",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6),
+		Modules: []ooc.ModuleSpec{
+			{Organ: ooc.Liver, Kind: ooc.Layered},
+			{Organ: ooc.Brain, Kind: ooc.Layered},
+		},
+		Fluid:       ooc.MediumLowViscosity,
+		ShearStress: ooc.PascalsShear(1.5),
+	}
+	design, err := ooc.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Self-consistency: under the designer's own model the design is
+	// exact.
+	self, err := ooc.Validate(design, ooc.ValidationOptions{
+		Model:                 ooc.ModelApprox,
+		DisableBendLosses:     true,
+		DisableJunctionLosses: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-consistency deviation: %.4f%%\n", self.MaxFlowDeviation*100)
+	// Output:
+	// self-consistency deviation: 0.0000%
+}

@@ -1,0 +1,78 @@
+// drug_transport demonstrates what the generated chip is *for*: it
+// simulates a drug dose and a cytokine response travelling through the
+// circulating fluid of an automatically designed OoC.
+//
+// Scenario: an orally absorbed compound enters through the GI-tract
+// module side (modelled as a bolus into the circulating loop), is
+// metabolized by the liver (first-order clearance), and the brain's
+// exposure — the quantity a neurotoxicity screen cares about — is
+// reported as peak concentration and AUC. In a second run the liver
+// secretes a cytokine and the simulation shows the inter-organ
+// communication the paper's introduction describes.
+//
+// Run with:
+//
+//	go run ./examples/drug_transport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ooc"
+)
+
+func main() {
+	spec := ooc.Spec{
+		Name:         "gi_liver_brain",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6),
+		Modules: []ooc.ModuleSpec{
+			{Organ: ooc.GITract, Kind: ooc.Layered},
+			{Organ: ooc.Liver, Kind: ooc.Layered},
+			{Organ: ooc.Brain, Kind: ooc.Layered},
+		},
+		Fluid:       ooc.MediumTypical,
+		ShearStress: ooc.PascalsShear(1.5),
+	}
+	design, err := ooc.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Drug bolus with hepatic clearance -------------------------
+	dose, err := ooc.SimulateTransport(design, ooc.TransportConfig{
+		Bolus:    1e-9, // mol into the recirculation loop
+		Duration: 120,  // seconds
+		Kinetics: map[string]ooc.ModuleKinetics{
+			"liver": {Clearance: 0.2}, // 1/s, first-order metabolism
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drug bolus with hepatic clearance:")
+	fmt.Printf("  %-9s %12s %10s %14s\n", "module", "peak[mol/m³]", "t_peak[s]", "AUC[mol·s/m³]")
+	for _, m := range dose.Modules {
+		fmt.Printf("  %-9s %12.3g %10.1f %14.3g\n", m.Name, m.Peak, m.PeakTime, m.AUC)
+	}
+	fmt.Printf("  mass balance error: %.2g, recovered at outlet (AUC): %.3g\n\n",
+		dose.MassBalanceError, dose.OutletAUC)
+
+	// --- Cytokine secretion (inter-organ communication) ------------
+	cytokine, err := ooc.SimulateTransport(design, ooc.TransportConfig{
+		Duration: 120,
+		Kinetics: map[string]ooc.ModuleKinetics{
+			"liver": {Secretion: 1e-12}, // mol/s released by the liver
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("liver cytokine secretion — steady exposure of the other organs:")
+	for _, m := range cytokine.Modules {
+		fmt.Printf("  %-9s steady concentration %.3g mol/m³\n", m.Name, m.Final)
+	}
+	fmt.Printf("\ncirculating fluid volume: %.2f µL, simulated in %d steps\n",
+		cytokine.CirculatingVolume*1e9, cytokine.Steps)
+}

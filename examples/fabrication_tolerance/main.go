@@ -1,0 +1,84 @@
+// fabrication_tolerance asks how robust an automatically generated
+// design is to real-world fabrication: soft-lithography channel
+// dimensions vary by a few percent, and resistance scales like h⁻³,
+// so height errors dominate. The example runs Monte Carlo fabrication
+// studies at several tolerance levels and prints deviation statistics
+// and yield — the paper's acceptance criterion ("within the typical
+// tolerances applied in microfluidics") turned into a number.
+//
+// It also compares flow-controlled pumping (the method's output)
+// against pressure-controlled pumping at the designer's set pressures.
+//
+// Run with:
+//
+//	go run ./examples/fabrication_tolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ooc"
+)
+
+func main() {
+	spec := ooc.Spec{
+		Name:         "male_kidney",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6),
+		Modules: []ooc.ModuleSpec{
+			{Organ: ooc.Lung, Kind: ooc.Layered},
+			{Organ: ooc.Liver, Kind: ooc.Layered},
+			{Organ: ooc.Kidney, Kind: ooc.Layered},
+			{Organ: ooc.Brain, Kind: ooc.Layered},
+		},
+		Fluid:       ooc.MediumLowViscosity,
+		ShearStress: ooc.PascalsShear(1.5),
+	}
+	design, err := ooc.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Monte Carlo fabrication (200 chips per row):")
+	fmt.Printf("  %-12s | %10s %10s %10s | %8s %8s\n",
+		"tolerance", "mean dev", "P95 dev", "max dev", "yield10%", "yield5%")
+	for _, sigma := range []float64{0.01, 0.02, 0.05} {
+		rep, err := ooc.AnalyzeTolerance(design, ooc.ToleranceConfig{
+			WidthSigma:  sigma,
+			HeightSigma: sigma,
+			LengthSigma: sigma / 10,
+			Samples:     200,
+			Seed:        42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ±%.0f%% w/h     | %9.2f%% %9.2f%% %9.2f%% | %7.0f%% %7.0f%%\n",
+			sigma*100,
+			rep.FlowDev.Mean*100, rep.FlowDev.P95*100, rep.FlowDev.Max*100,
+			rep.YieldWithin["10%"]*100, rep.YieldWithin["5%"]*100)
+	}
+
+	// Pump-mode comparison.
+	flowDriven, err := ooc.Validate(design, ooc.ValidationOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pressureDriven, err := ooc.ValidatePressureDriven(design, ooc.ValidationOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := ooc.DesignPumpPressures(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npump operating modes (nominal fabrication):")
+	fmt.Printf("  flow-controlled pumps:     max flow deviation %.2f%%\n",
+		flowDriven.MaxFlowDeviation*100)
+	fmt.Printf("  pressure-controlled pumps: max flow deviation %.2f%% (inlet set %.0f Pa, recirc set %.0f Pa)\n",
+		pressureDriven.MaxFlowDeviation*100,
+		set.Inlet.Pascals(), set.Recirculation.Pascals())
+	fmt.Println("\nflow-controlled pumping — the method's output — is the more robust mode,")
+	fmt.Println("which is why the paper's designer emits pump flow rates, not pressures.")
+}

@@ -1,0 +1,193 @@
+package ooc_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ooc"
+)
+
+// randomSpec draws a random but well-formed specification from the
+// design space the paper's evaluation covers: 1–8 modules from the
+// organ catalog (occasionally a custom round tissue), viscosity and
+// shear stress inside their physical windows, spacing from the sweep
+// range, organism mass around the paper's 1 mg scale.
+func randomSpec(rng *rand.Rand) ooc.Spec {
+	organs := []ooc.OrganID{
+		ooc.Lung, ooc.Liver, ooc.Brain, ooc.Kidney, ooc.GITract,
+		ooc.Heart, ooc.Skin, ooc.Spleen, ooc.Pancreas,
+	}
+	rng.Shuffle(len(organs), func(i, j int) { organs[i], organs[j] = organs[j], organs[i] })
+	n := 1 + rng.Intn(6)
+
+	spec := ooc.Spec{
+		Name:         "random",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6 * (0.5 + rng.Float64()*4)),
+		Fluid:        ooc.MediumTypical,
+		ShearStress:  ooc.PascalsShear(1.0 + rng.Float64()),
+	}
+	if rng.Intn(2) == 0 {
+		spec.Reference = ooc.StandardFemale()
+	}
+	spec.Fluid.Viscosity = ooc.PascalSeconds(7e-4 + rng.Float64()*4e-4)
+	spec.Geometry.Spacing = ooc.Millimetres(0.5 + rng.Float64())
+
+	for i := 0; i < n; i++ {
+		spec.Modules = append(spec.Modules, ooc.ModuleSpec{
+			Organ: organs[i],
+			Kind:  ooc.Layered,
+		})
+	}
+	if rng.Intn(3) == 0 {
+		// A patient-derived spheroid with a safe radius (< 250 µm).
+		spec.Modules = append(spec.Modules, ooc.ModuleSpec{
+			Name:      "spheroid",
+			Kind:      ooc.Round,
+			Mass:      ooc.Kilograms(1e-9 * (1 + rng.Float64()*40)),
+			Perfusion: 0.05 + rng.Float64()*0.6,
+		})
+	}
+	return spec
+}
+
+// TestRandomSpecsEndToEnd is the whole-pipeline property test: every
+// well-formed random specification must generate a design that passes
+// the designer's invariants, validates in a sane band, survives the
+// design review without errors, and round-trips through JSON.
+func TestRandomSpecsEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	const trials = 40
+	generated := 0
+	for trial := 0; trial < trials; trial++ {
+		spec := randomSpec(rng)
+		d, err := ooc.Generate(spec)
+		if err != nil {
+			// Some random combinations are legitimately infeasible
+			// (e.g. a spheroid radius pushing the channel width below
+			// the uniform height); those must fail loudly and
+			// explainably, never silently.
+			if !strings.Contains(err.Error(), "core:") {
+				t.Fatalf("trial %d: unexplained failure: %v", trial, err)
+			}
+			continue
+		}
+		generated++
+
+		if r := d.KVLResidual(); r > 1e-6 {
+			t.Fatalf("trial %d: KVL residual %g", trial, r)
+		}
+		if v := d.DesignRuleCheck(); len(v) != 0 {
+			t.Fatalf("trial %d: DRC violations: %v", trial, v)
+		}
+		rep, err := ooc.Validate(d, ooc.ValidationOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: validate: %v", trial, err)
+		}
+		if rep.MaxFlowDeviation > 0.30 {
+			t.Fatalf("trial %d: flow deviation %.1f%% out of band", trial, rep.MaxFlowDeviation*100)
+		}
+		rev, err := ooc.ReviewDesign(d)
+		if err != nil {
+			t.Fatalf("trial %d: review: %v", trial, err)
+		}
+		if !rev.OK() {
+			for _, f := range rev.Findings {
+				if f.Severity == ooc.ReviewError {
+					t.Errorf("trial %d: %s", trial, f)
+				}
+			}
+			t.Fatalf("trial %d: review failed", trial)
+		}
+
+		raw, err := ooc.RenderJSON(d)
+		if err != nil {
+			t.Fatalf("trial %d: render: %v", trial, err)
+		}
+		loaded, err := ooc.LoadDesignJSON(raw)
+		if err != nil {
+			t.Fatalf("trial %d: load: %v", trial, err)
+		}
+		rep2, err := ooc.Validate(loaded, ooc.ValidationOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: validate loaded: %v", trial, err)
+		}
+		if diff := rep2.MaxFlowDeviation - rep.MaxFlowDeviation; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: JSON round trip changed validation by %g", trial, diff)
+		}
+	}
+	if generated < trials/2 {
+		t.Fatalf("only %d/%d random specs generated — the generator is too fragile", generated, trials)
+	}
+}
+
+// TestRandomSpecsTransport: transport simulation conserves mass on
+// arbitrary generated chips.
+func TestRandomSpecsTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	done := 0
+	for trial := 0; trial < 12 && done < 5; trial++ {
+		spec := randomSpec(rng)
+		d, err := ooc.Generate(spec)
+		if err != nil {
+			continue
+		}
+		res, err := ooc.SimulateTransport(d, ooc.TransportConfig{
+			Bolus:    1e-9,
+			Duration: 20,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.MassBalanceError > 1e-6 {
+			t.Fatalf("trial %d: mass balance %g", trial, res.MassBalanceError)
+		}
+		done++
+	}
+	if done == 0 {
+		t.Fatal("no random chip could be simulated")
+	}
+}
+
+// TestIndependentValidatorsAgree: the lumped exact-model validator and
+// the rasterized field solver are built on different abstractions
+// (channel list vs. drawn geometry); their measured module flows must
+// agree. This is the strongest internal evidence that the generated
+// designs behave as analyzed.
+func TestIndependentValidatorsAgree(t *testing.T) {
+	spec := ooc.Spec{
+		Name:         "cross_validation",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6),
+		Modules: []ooc.ModuleSpec{
+			{Organ: ooc.GITract, Kind: ooc.Layered},
+			{Organ: ooc.Liver, Kind: ooc.Layered},
+			{Organ: ooc.Brain, Kind: ooc.Layered},
+		},
+		Fluid:       ooc.MediumLowViscosity,
+		ShearStress: ooc.PascalsShear(1.5),
+	}
+	d, err := ooc.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lumped, err := ooc.Validate(d, ooc.ValidationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := ooc.SolveFlowField(d, ooc.FieldOptions{CellSize: 150e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fieldFlows := field.ModuleFlows(d)
+	for i, m := range lumped.Modules {
+		lumpedQ := m.ActualFlow.CubicMetresPerSecond()
+		fieldQ := fieldFlows[i]
+		diff := (fieldQ - lumpedQ) / lumpedQ
+		if diff < -0.10 || diff > 0.10 {
+			t.Fatalf("module %s: lumped %.3g vs field %.3g (%.1f%%)",
+				m.Name, lumpedQ, fieldQ, diff*100)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ooc/internal/fluid"
+	"ooc/internal/geometry"
+	"ooc/internal/units"
+)
+
+// ChannelKind classifies the channels of the circulating-fluid network
+// (Fig. 1c / Fig. 2 of the paper).
+type ChannelKind int
+
+const (
+	// ModuleChannel runs underneath an organ module.
+	ModuleChannel ChannelKind = iota
+	// ConnectionChannel links one module's outlet to the next module's
+	// inlet (carries the perfusion exchange).
+	ConnectionChannel
+	// SupplyChannel is a vertical channel from the supply feed down to
+	// a module inlet; carries fresh medium.
+	SupplyChannel
+	// DischargeChannel is a vertical channel from a module outlet down
+	// to the discharge drain; removes waste.
+	DischargeChannel
+	// FeedSegment is a piece of the horizontal supply-feed channel
+	// between two taps.
+	FeedSegment
+	// DrainSegment is a piece of the horizontal discharge-drain
+	// channel between two taps.
+	DrainSegment
+	// InletLead connects the inlet port to the first feed tap.
+	InletLead
+	// OutletLead connects the first drain tap to the outlet port.
+	OutletLead
+)
+
+// String implements fmt.Stringer.
+func (k ChannelKind) String() string {
+	switch k {
+	case ModuleChannel:
+		return "module"
+	case ConnectionChannel:
+		return "connection"
+	case SupplyChannel:
+		return "supply"
+	case DischargeChannel:
+		return "discharge"
+	case FeedSegment:
+		return "feed"
+	case DrainSegment:
+		return "drain"
+	case InletLead:
+		return "inlet-lead"
+	case OutletLead:
+		return "outlet-lead"
+	default:
+		return fmt.Sprintf("ChannelKind(%d)", int(k))
+	}
+}
+
+// Channel is one physical channel of the generated design.
+type Channel struct {
+	Name string
+	Kind ChannelKind
+	// Index is the module index this channel belongs to (the tap/module
+	// position for feed and drain segments).
+	Index int
+	// Cross is the rectangular cross-section.
+	Cross fluid.CrossSection
+	// Path is the routed centreline; flow runs from the first to the
+	// last point.
+	Path geometry.Polyline
+	// Length is the centreline length.
+	Length units.Length
+	// From and To name the junction nodes, e.g. "F0" → "Min0".
+	From, To string
+	// DesignFlow is the flow the design intends (Eq. 5).
+	DesignFlow units.FlowRate
+	// DesignResistance is the resistance under the designer's model
+	// (Eq. 6 at the design viscosity).
+	DesignResistance units.HydraulicResistance
+	// DesignPressureDrop = DesignResistance · DesignFlow (Eq. 7).
+	DesignPressureDrop units.Pressure
+}
+
+// PumpSettings are the required external pump flows (Sec. III-B-1).
+type PumpSettings struct {
+	// Inlet drives fresh medium into the supply feed (Q_0^sf).
+	Inlet units.FlowRate
+	// Outlet extracts medium at the outlet junction; equals Inlet at
+	// steady state.
+	Outlet units.FlowRate
+	// Recirculation redirects discharge fluid into the connection
+	// channel of the first module (Q_0^c).
+	Recirculation units.FlowRate
+}
+
+// Design is a complete generated OoC chip.
+type Design struct {
+	Name string
+	// Resolved is the specification with all derived quantities.
+	Resolved *Resolved
+	// Plan is the flow-rate initialization (Eq. 5).
+	Plan *FlowPlan
+	// Modules are the placed organ modules (geometry in world
+	// coordinates; module channel along y = 0).
+	Modules []PlacedModule
+	// Channels is the full channel list.
+	Channels []Channel
+	// Pumps are the external pump settings.
+	Pumps PumpSettings
+	// SupplyOffset and DischargeOffset are the final corrected offsets
+	// between the module row and the feed/drain channels.
+	SupplyOffset, DischargeOffset units.Length
+	// Iterations is how many correction iterations the generator ran.
+	Iterations int
+	// Bounds is the chip bounding box (all channel footprints).
+	Bounds geometry.Rect
+}
+
+// PlacedModule is a resolved module with its position on the chip.
+type PlacedModule struct {
+	Module
+	// InletX/OutletX are the module channel endpoints on the row axis.
+	InletX, OutletX units.Length
+}
+
+// ChannelsOfKind returns the design's channels of one kind, in module
+// order.
+func (d *Design) ChannelsOfKind(kind ChannelKind) []*Channel {
+	var out []*Channel
+	for i := range d.Channels {
+		if d.Channels[i].Kind == kind {
+			out = append(out, &d.Channels[i])
+		}
+	}
+	return out
+}
+
+// channelByKindIndex finds a specific channel.
+func (d *Design) channelByKindIndex(kind ChannelKind, index int) *Channel {
+	for i := range d.Channels {
+		if d.Channels[i].Kind == kind && d.Channels[i].Index == index {
+			return &d.Channels[i]
+		}
+	}
+	return nil
+}
+
+// KVLResidual evaluates Kirchhoff's voltage law around every supply
+// and discharge cycle (Fig. 3) using the designer's own pressure
+// gradients, returning the largest |Σ ΔP| relative to the largest ΔP
+// in the cycle. Pressure correction drives this to rounding level;
+// it is the designer's central invariant.
+func (d *Design) KVLResidual() float64 {
+	n := len(d.Modules)
+	worst := 0.0
+	dp := func(kind ChannelKind, idx int) float64 {
+		c := d.channelByKindIndex(kind, idx)
+		if c == nil {
+			return math.NaN()
+		}
+		return float64(c.DesignPressureDrop)
+	}
+	for i := 0; i+1 < n; i++ {
+		// Supply cycle: s_i + m_i + c_{i+1} − sf_{i+1} − s_{i+1} = 0.
+		terms := []float64{
+			dp(SupplyChannel, i),
+			dp(ModuleChannel, i),
+			dp(ConnectionChannel, i+1),
+			-dp(FeedSegment, i+1),
+			-dp(SupplyChannel, i+1),
+		}
+		worst = math.Max(worst, cycleResidual(terms))
+		// Discharge cycle: d_i − c_{i+1} − m_{i+1} − d_{i+1} − dd_{i+1} = 0.
+		terms = []float64{
+			dp(DischargeChannel, i),
+			-dp(ConnectionChannel, i+1),
+			-dp(ModuleChannel, i+1),
+			-dp(DischargeChannel, i+1),
+			-dp(DrainSegment, i+1),
+		}
+		worst = math.Max(worst, cycleResidual(terms))
+	}
+	return worst
+}
+
+func cycleResidual(terms []float64) float64 {
+	sum, scale := 0.0, 0.0
+	for _, t := range terms {
+		sum += t
+		if a := math.Abs(t); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return math.Abs(sum)
+	}
+	return math.Abs(sum) / scale
+}
+
+// DRCViolation reports two channel segments closer than the design
+// rule allows.
+type DRCViolation struct {
+	A, B     string // channel names
+	Distance units.Length
+	Required units.Length
+}
+
+// String implements fmt.Stringer.
+func (v DRCViolation) String() string {
+	return fmt.Sprintf("channels %q and %q are %v apart (rule %v)", v.A, v.B, v.Distance, v.Required)
+}
+
+// DesignRuleCheck verifies the minimum spacing between all pairs of
+// channels. Pairs that share a junction node are exempt (they meet by
+// construction), as are pairs joined through a very short intermediate
+// channel — organ modules are often only tens of micrometres long, so
+// the channels attached to their two ends necessarily sit closer than
+// the inter-channel rule; fabrication treats such a region as one
+// junction cluster. Offset correction must leave the design free of
+// all remaining violations.
+func (d *Design) DesignRuleCheck() []DRCViolation {
+	spacing := float64(d.Resolved.Geometry.Spacing)
+	type foot struct {
+		name     string
+		from, to string
+		width    float64
+		rects    []geometry.Rect
+	}
+	feet := make([]foot, len(d.Channels))
+	for i, c := range d.Channels {
+		segs := c.Path.Segments()
+		rects := make([]geometry.Rect, len(segs))
+		for j, s := range segs {
+			rects[j] = s.Expand(float64(c.Cross.Width) / 2)
+		}
+		feet[i] = foot{name: c.Name, from: c.From, to: c.To,
+			width: float64(c.Cross.Width), rects: rects}
+	}
+	// clustered reports whether channels a and b are joined through an
+	// intermediate channel too short to allow the full spacing rule
+	// between them.
+	clustered := func(a, b *foot) bool {
+		for k := range d.Channels {
+			c := &d.Channels[k]
+			if c.Name == a.name || c.Name == b.name {
+				continue
+			}
+			touchesA := c.From == a.from || c.From == a.to || c.To == a.from || c.To == a.to
+			touchesB := c.From == b.from || c.From == b.to || c.To == b.from || c.To == b.to
+			if touchesA && touchesB &&
+				float64(c.Length) <= spacing+(a.width+b.width)/2 {
+				return true
+			}
+		}
+		return false
+	}
+	var out []DRCViolation
+	for i := 0; i < len(feet); i++ {
+		for j := i + 1; j < len(feet); j++ {
+			a, b := feet[i], feet[j]
+			// Channels sharing a junction meet by construction.
+			if a.from == b.from || a.from == b.to || a.to == b.from || a.to == b.to {
+				continue
+			}
+			if clustered(&a, &b) {
+				continue
+			}
+			worst := math.Inf(1)
+			for _, ra := range a.rects {
+				for _, rb := range b.rects {
+					if dist := geometry.RectDistance(ra, rb); dist < worst {
+						worst = dist
+					}
+				}
+			}
+			if worst < spacing*(1-1e-9) {
+				out = append(out, DRCViolation{
+					A: a.name, B: b.name,
+					Distance: units.Length(worst),
+					Required: units.Length(spacing),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TotalChannelLength sums all channel lengths (a fabrication metric).
+func (d *Design) TotalChannelLength() units.Length {
+	var sum units.Length
+	for _, c := range d.Channels {
+		sum += c.Length
+	}
+	return sum
+}
+
+// ChipArea returns the bounding-box area of the design.
+func (d *Design) ChipArea() units.Area {
+	return units.Area(d.Bounds.Width() * d.Bounds.Height())
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"ooc/internal/units"
+)
+
+// FlowPlan holds the flow-rate initialization of Sec. III-B-1 (Eq. 5):
+// the required steady-state flow of every channel, derived from the
+// module flows and perfusion factors by Kirchhoff's current law. All
+// slices are indexed by module.
+type FlowPlan struct {
+	// Module is Q_i^M, the module channel flow.
+	Module []units.FlowRate
+	// Connection is Q_i^c = perf_i · Q_i^M, the connection channel in
+	// front of module i (Q_0^c is driven by the recirculation pump).
+	Connection []units.FlowRate
+	// Supply is Q_i^s = Q_i^M − Q_i^c, the vertical supply channel.
+	Supply []units.FlowRate
+	// SupplyFeed is Q_i^sf = Q_{i+1}^sf + Q_i^s, the supply-feed flow
+	// arriving at tap i (Q_0^sf is the inlet pump flow).
+	SupplyFeed []units.FlowRate
+	// Discharge is Q_i^d = Q_i^M − Q_{i+1}^c, the vertical discharge
+	// channel.
+	Discharge []units.FlowRate
+	// DischargeDrain is Q_i^dd = Q_{i+1}^dd + Q_i^d, the drain flow
+	// leaving tap i towards the outlet (Q_0^dd passes the outlet lead).
+	DischargeDrain []units.FlowRate
+}
+
+// Pumps returns the pump settings implied by the plan: the inlet pump
+// drives Q_0^sf, the recirculation pump Q_0^c, and the outlet pump
+// extracts what remains at the outlet junction after the recirculation
+// tap, which equals the inlet flow (supply and discharge must balance,
+// Sec. II-B-3).
+func (p *FlowPlan) Pumps() (inlet, outlet, recirculation units.FlowRate) {
+	inlet = p.SupplyFeed[0]
+	recirculation = p.Connection[0]
+	outlet = units.FlowRate(float64(p.DischargeDrain[0]) - float64(p.Connection[0]))
+	return inlet, outlet, recirculation
+}
+
+// PlanFlows applies Eq. 5 to the resolved modules.
+func PlanFlows(r *Resolved) (*FlowPlan, error) {
+	n := len(r.Modules)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no modules to plan flows for")
+	}
+	p := &FlowPlan{
+		Module:         make([]units.FlowRate, n),
+		Connection:     make([]units.FlowRate, n),
+		Supply:         make([]units.FlowRate, n),
+		SupplyFeed:     make([]units.FlowRate, n),
+		Discharge:      make([]units.FlowRate, n),
+		DischargeDrain: make([]units.FlowRate, n),
+	}
+	for i, m := range r.Modules {
+		if m.FlowRate <= 0 {
+			return nil, fmt.Errorf("core: module %q has no flow rate", m.Name)
+		}
+		if m.Perfusion <= 0 || m.Perfusion >= 1 {
+			return nil, fmt.Errorf("core: module %q perfusion %g outside (0, 1)", m.Name, m.Perfusion)
+		}
+		p.Module[i] = m.FlowRate
+		p.Connection[i] = units.FlowRate(m.Perfusion * float64(m.FlowRate))
+	}
+	// Supply side: Q_i^s = Q_i^M − Q_i^c; feed accumulates backwards.
+	for i := n - 1; i >= 0; i-- {
+		p.Supply[i] = units.FlowRate(float64(p.Module[i]) - float64(p.Connection[i]))
+		if p.Supply[i] <= 0 {
+			return nil, fmt.Errorf("core: module %d supply flow non-positive (perfusion too high)", i)
+		}
+		next := units.FlowRate(0)
+		if i+1 < n {
+			next = p.SupplyFeed[i+1]
+		}
+		p.SupplyFeed[i] = units.FlowRate(float64(next) + float64(p.Supply[i]))
+	}
+	// Discharge side: Q_i^d = Q_i^M − Q_{i+1}^c (the last module has no
+	// successor connection); drain accumulates backwards.
+	for i := n - 1; i >= 0; i-- {
+		nextConn := units.FlowRate(0)
+		if i+1 < n {
+			nextConn = p.Connection[i+1]
+		}
+		p.Discharge[i] = units.FlowRate(float64(p.Module[i]) - float64(nextConn))
+		if p.Discharge[i] <= 0 {
+			return nil, fmt.Errorf("core: module %d discharge flow non-positive", i)
+		}
+		next := units.FlowRate(0)
+		if i+1 < n {
+			next = p.DischargeDrain[i+1]
+		}
+		p.DischargeDrain[i] = units.FlowRate(float64(next) + float64(p.Discharge[i]))
+	}
+	return p, nil
+}
+
+// CheckKCL verifies Kirchhoff's current law at every junction of the
+// plan and the pump balance; returns the largest residual relative to
+// the inlet flow. A correct plan has a residual at rounding level —
+// this is the designer's self-check of Eq. 5.
+func (p *FlowPlan) CheckKCL() float64 {
+	n := len(p.Module)
+	maxRes := 0.0
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		// Module inlet node: connection + supply = module.
+		res := float64(p.Connection[i]) + float64(p.Supply[i]) - float64(p.Module[i])
+		if abs(res) > maxRes {
+			maxRes = abs(res)
+		}
+		// Module outlet node: module = next connection + discharge.
+		nextConn := 0.0
+		if i+1 < n {
+			nextConn = float64(p.Connection[i+1])
+		}
+		res = float64(p.Module[i]) - nextConn - float64(p.Discharge[i])
+		if abs(res) > maxRes {
+			maxRes = abs(res)
+		}
+		// Feed tap node: feed in = feed out + supply.
+		nextFeed := 0.0
+		if i+1 < n {
+			nextFeed = float64(p.SupplyFeed[i+1])
+		}
+		res = float64(p.SupplyFeed[i]) - nextFeed - float64(p.Supply[i])
+		if abs(res) > maxRes {
+			maxRes = abs(res)
+		}
+		// Drain tap node: drain out = drain in + discharge.
+		nextDrain := 0.0
+		if i+1 < n {
+			nextDrain = float64(p.DischargeDrain[i+1])
+		}
+		res = float64(p.DischargeDrain[i]) - nextDrain - float64(p.Discharge[i])
+		if abs(res) > maxRes {
+			maxRes = abs(res)
+		}
+	}
+	// Outlet junction: drain = outlet pump + recirculation.
+	in, out, rec := p.Pumps()
+	res := float64(p.DischargeDrain[0]) - float64(out) - float64(rec)
+	if abs(res) > maxRes {
+		maxRes = abs(res)
+	}
+	// Global balance: inlet = outlet.
+	if abs(float64(in)-float64(out)) > maxRes {
+		maxRes = abs(float64(in) - float64(out))
+	}
+	if float64(p.SupplyFeed[0]) != 0 {
+		return maxRes / float64(p.SupplyFeed[0])
+	}
+	return maxRes
+}

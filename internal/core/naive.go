@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ooc/internal/geometry"
+)
+
+// GenerateNaive builds the baseline design a naive (manual) designer
+// would draw: the same modules, taps and channel dimensions as
+// Generate, but WITHOUT pressure correction — every vertical supply
+// and discharge channel is simply routed straight at the offset
+// length, leaving Kirchhoff's voltage law unenforced.
+//
+// The paper has no algorithmic baseline (it is the first automation
+// attempt; the status quo is manual design). This function represents
+// that status quo: a topologically correct chip whose flow
+// distribution is left to chance. Validating it against the
+// specification quantifies what the paper's pressure-correction step
+// is worth — see BenchmarkBaselineNaive and the EXPERIMENTS.md
+// ablation table.
+func GenerateNaive(spec Spec) (*Design, error) {
+	res, err := Derive(spec)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := PlanFlows(res)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(res.Modules)
+	geo := res.Geometry
+	spacing := float64(geo.Spacing)
+	vertW := float64(res.VerticalCrossSection().Width)
+	moduleW := float64(res.ModuleWidth)
+	pitch := vertW + spacing
+	margin := moduleW/2 + spacing + vertW/2
+
+	st := &layoutState{
+		n:         n,
+		pitch:     pitch,
+		moduleLen: make([]float64, n),
+		gaps:      make([]float64, n+1),
+		xIn:       make([]float64, n),
+		xOut:      make([]float64, n),
+		supTap:    make([]float64, n),
+		disTap:    make([]float64, n),
+		supLen:    make([]float64, n),
+		disLen:    make([]float64, n),
+		supPath:   make([]geometry.Polyline, n),
+		disPath:   make([]geometry.Polyline, n),
+	}
+	for i, m := range res.Modules {
+		st.moduleLen[i] = float64(m.Length)
+	}
+	minGap := math.Max(float64(geo.MinGap), spacing+2*pitch)
+	for i := range st.gaps {
+		st.gaps[i] = minGap
+	}
+	minOffset := 2*margin + 2*pitch
+	st.offS = math.Max(float64(geo.InitialOffset), minOffset)
+	st.offD = st.offS
+	st.place()
+
+	// Straight verticals at the minimum length — no meanders, no KVL.
+	for i := 0; i < n; i++ {
+		st.supLen[i] = st.offS + st.pitch
+		st.disLen[i] = st.offD + st.pitch
+		sup, err := straightTap(st.offS, st.pitch)
+		if err != nil {
+			return nil, fmt.Errorf("core: naive supply %d: %w", i, err)
+		}
+		st.supPath[i] = sup
+		dis, err := straightTap(st.offD, st.pitch)
+		if err != nil {
+			return nil, fmt.Errorf("core: naive discharge %d: %w", i, err)
+		}
+		st.disPath[i] = dis
+	}
+
+	return assemble(res, plan, st, 1)
+}
+
+// straightTap is the minimal pinned-tap route: rise, one-pitch terminal
+// run, final rise — the same local frame the meander synthesizer uses,
+// with no added length.
+func straightTap(height, pitch float64) (geometry.Polyline, error) {
+	if height <= 2*pitch {
+		return geometry.Polyline{}, fmt.Errorf("offset %g too small for a tap run", height)
+	}
+	return geometry.Polyline{Points: []geometry.Point{
+		{X: 0, Y: 0},
+		{X: 0, Y: height - pitch},
+		{X: pitch, Y: height - pitch},
+		{X: pitch, Y: height},
+	}}, nil
+}

@@ -1,0 +1,65 @@
+package field
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// RenderPNG writes the velocity-magnitude field as a PNG heatmap in
+// the style of the paper's Fig. 4: channels colored by local speed
+// (blue = slow, red = fast) on a light background. One image pixel per
+// raster cell; the image is flipped so chip +y points up.
+func (f *Field) RenderPNG(w io.Writer) error {
+	if f.Nx <= 0 || f.Ny <= 0 {
+		return fmt.Errorf("field: empty field")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, f.Nx, f.Ny))
+	bg := color.RGBA{R: 250, G: 250, B: 248, A: 255}
+	for j := 0; j < f.Ny; j++ {
+		for i := 0; i < f.Nx; i++ {
+			idx := f.index(i, j)
+			py := f.Ny - 1 - j
+			if !f.Mask[idx] {
+				img.SetRGBA(i, py, bg)
+				continue
+			}
+			t := 0.0
+			if f.MaxSpeed > 0 {
+				t = f.Speed[idx] / f.MaxSpeed
+			}
+			img.SetRGBA(i, py, heat(t))
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// heat maps t ∈ [0, 1] to a blue→cyan→green→yellow→red ramp (the
+// "jet"-style coloring CFD tools use for velocity magnitude).
+func heat(t float64) color.RGBA {
+	t = math.Max(0, math.Min(1, t))
+	var r, g, b float64
+	switch {
+	case t < 0.25:
+		u := t / 0.25
+		r, g, b = 0, u, 1
+	case t < 0.5:
+		u := (t - 0.25) / 0.25
+		r, g, b = 0, 1, 1-u
+	case t < 0.75:
+		u := (t - 0.5) / 0.25
+		r, g, b = u, 1, 0
+	default:
+		u := (t - 0.75) / 0.25
+		r, g, b = 1, 1-u, 0
+	}
+	return color.RGBA{
+		R: uint8(40 + 215*r),
+		G: uint8(40 + 215*g),
+		B: uint8(60 + 195*b),
+		A: 255,
+	}
+}

@@ -1,0 +1,255 @@
+// Package geometry provides the 2D primitives used to lay out OoC
+// chips: points, axis-aligned rectangles, rectilinear polylines, and
+// the intersection/containment predicates the offset-correction step
+// needs to detect meander collisions (Fig. 3 in the paper).
+//
+// Coordinates are in metres. The chip plane has x growing to the right
+// (along the module row) and y growing upwards (towards the supply
+// feed).
+package geometry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Point is a 2D point in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Distance returns the Euclidean distance to q.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and
+// Max the upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanned by two arbitrary corner points.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Width returns the x extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the y extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Empty reports whether the rectangle has zero or negative area.
+func (r Rect) Empty() bool { return r.Width() <= 0 || r.Height() <= 0 }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return r.Contains(s.Min) && r.Contains(s.Max)
+}
+
+// Intersects reports whether the two rectangles overlap with positive
+// area (touching edges do not count as a collision — channels may abut).
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Expand returns the rectangle grown by d on every side (negative d
+// shrinks it). Growing by the minimum channel spacing turns "overlap"
+// tests into "closer than the design rule" tests.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// String formats the rectangle in millimetres for diagnostics.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3f,%.3f → %.3f,%.3f]mm",
+		r.Min.X*1e3, r.Min.Y*1e3, r.Max.X*1e3, r.Max.Y*1e3)
+}
+
+// Polyline is an open chain of points describing a channel centreline.
+type Polyline struct {
+	Points []Point
+}
+
+// ErrDegenerate reports a polyline with fewer than two points.
+var ErrDegenerate = errors.New("geometry: polyline needs at least two points")
+
+// Length returns the total arc length of the polyline.
+func (pl Polyline) Length() float64 {
+	var l float64
+	for i := 1; i < len(pl.Points); i++ {
+		l += pl.Points[i-1].Distance(pl.Points[i])
+	}
+	return l
+}
+
+// Validate checks that the polyline is usable as a channel centreline:
+// at least two points and no zero-length segments.
+func (pl Polyline) Validate() error {
+	if len(pl.Points) < 2 {
+		return ErrDegenerate
+	}
+	for i := 1; i < len(pl.Points); i++ {
+		if pl.Points[i-1] == pl.Points[i] {
+			return fmt.Errorf("geometry: zero-length segment at index %d", i)
+		}
+	}
+	return nil
+}
+
+// Bounds returns the bounding box of the polyline inflated by half the
+// channel width on every side — the physical footprint of a channel of
+// the given width routed along this centreline.
+func (pl Polyline) Bounds(channelWidth float64) Rect {
+	if len(pl.Points) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pl.Points[0], Max: pl.Points[0]}
+	for _, p := range pl.Points[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r.Expand(channelWidth / 2)
+}
+
+// IsRectilinear reports whether every segment is axis-parallel, the
+// invariant of all generated channel routes.
+func (pl Polyline) IsRectilinear() bool {
+	for i := 1; i < len(pl.Points); i++ {
+		a, b := pl.Points[i-1], pl.Points[i]
+		if a.X != b.X && a.Y != b.Y {
+			return false
+		}
+	}
+	return true
+}
+
+// Bends returns the number of direction changes along a rectilinear
+// polyline. The validator charges a laminar minor loss per bend.
+func (pl Polyline) Bends() int {
+	if len(pl.Points) < 3 {
+		return 0
+	}
+	bends := 0
+	for i := 2; i < len(pl.Points); i++ {
+		d1 := pl.Points[i-1].Sub(pl.Points[i-2])
+		d2 := pl.Points[i].Sub(pl.Points[i-1])
+		// For rectilinear chains a bend is a change between horizontal
+		// and vertical direction.
+		h1 := d1.Y == 0
+		h2 := d2.Y == 0
+		if h1 != h2 {
+			bends++
+		}
+	}
+	return bends
+}
+
+// Translate returns a copy of the polyline shifted by d.
+func (pl Polyline) Translate(d Point) Polyline {
+	pts := make([]Point, len(pl.Points))
+	for i, p := range pl.Points {
+		pts[i] = p.Add(d)
+	}
+	return Polyline{Points: pts}
+}
+
+// SelfIntersects reports whether any two non-adjacent segments of a
+// rectilinear polyline cross or overlap. Meander synthesis must never
+// produce self-intersecting channels.
+func (pl Polyline) SelfIntersects() bool {
+	n := len(pl.Points) - 1
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			// Adjacent segments share an endpoint by construction;
+			// skip the wrap case too (open polyline, so none).
+			if segmentsIntersect(pl.Points[i], pl.Points[i+1], pl.Points[j], pl.Points[j+1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// segmentsIntersect reports whether the closed segments ab and cd share
+// any point. Works for arbitrary segments; exact for the axis-parallel
+// segments used here.
+func segmentsIntersect(a, b, c, d Point) bool {
+	d1 := cross(c, d, a)
+	d2 := cross(c, d, b)
+	d3 := cross(a, b, c)
+	d4 := cross(a, b, d)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(c, d, a)) ||
+		(d2 == 0 && onSegment(c, d, b)) ||
+		(d3 == 0 && onSegment(a, b, c)) ||
+		(d4 == 0 && onSegment(a, b, d))
+}
+
+// cross returns the z-component of (b−a) × (p−a).
+func cross(a, b, p Point) float64 {
+	return (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+}
+
+// onSegment reports whether p (already known collinear with ab) lies
+// within the bounding box of ab.
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// RectDistance returns the minimum Euclidean distance between two
+// axis-aligned rectangles (0 when they touch or overlap). The design
+// rule checker compares this against the minimum channel spacing.
+func RectDistance(a, b Rect) float64 {
+	dx := math.Max(0, math.Max(b.Min.X-a.Max.X, a.Min.X-b.Max.X))
+	dy := math.Max(0, math.Max(b.Min.Y-a.Max.Y, a.Min.Y-b.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// Segments returns the polyline's individual segments as degenerate
+// rectangles (zero thickness along the travel axis for axis-parallel
+// segments); Expand by half the channel width to get footprints.
+func (pl Polyline) Segments() []Rect {
+	if len(pl.Points) < 2 {
+		return nil
+	}
+	out := make([]Rect, 0, len(pl.Points)-1)
+	for i := 1; i < len(pl.Points); i++ {
+		out = append(out, NewRect(pl.Points[i-1], pl.Points[i]))
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Point{2, 3}, Point{-1, 1})
+	if r.Min != (Point{-1, 1}) || r.Max != (Point{2, 3}) {
+		t.Fatalf("NewRect normalization failed: %+v", r)
+	}
+	if r.Width() != 3 || r.Height() != 2 {
+		t.Fatalf("extent: %g × %g", r.Width(), r.Height())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if !(Rect{}).Empty() {
+		t.Fatal("zero rect reported non-empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1, 1})
+	for _, p := range []Point{{0, 0}, {1, 1}, {0.5, 0.5}, {0, 1}} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 0}, {1.1, 0.5}, {0.5, 2}} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(Point{1, 1}, Point{3, 3}), true},
+		{NewRect(Point{2, 0}, Point{3, 2}), false}, // touching edge
+		{NewRect(Point{3, 3}, Point{4, 4}), false},
+		{NewRect(Point{0.5, 0.5}, Point{1.5, 1.5}), true}, // contained
+		{NewRect(Point{-1, -1}, Point{5, 5}), true},       // containing
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("case %d: Intersects not symmetric", i)
+		}
+	}
+}
+
+func TestRectExpandSpacingRule(t *testing.T) {
+	// Two channels 1 mm apart violate a 1.5 mm spacing rule but not a
+	// 0.5 mm one. Expanding by the rule and testing overlap encodes
+	// that.
+	a := NewRect(Point{0, 0}, Point{1e-3, 1e-3})
+	b := NewRect(Point{2e-3, 0}, Point{3e-3, 1e-3})
+	if a.Expand(0.25e-3).Intersects(b.Expand(0.25e-3)) {
+		t.Fatal("0.5 mm rule should pass at 1 mm gap")
+	}
+	if !a.Expand(0.75e-3).Intersects(b.Expand(0.75e-3)) {
+		t.Fatal("1.5 mm rule should fail at 1 mm gap")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{1, 1})
+	b := NewRect(Point{2, -1}, Point{3, 0.5})
+	u := a.Union(b)
+	if u.Min != (Point{0, -1}) || u.Max != (Point{3, 1}) {
+		t.Fatalf("union: %+v", u)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pl := Polyline{Points: []Point{{0, 0}, {0, 2}, {3, 2}}}
+	if pl.Length() != 5 {
+		t.Fatalf("length = %g, want 5", pl.Length())
+	}
+}
+
+func TestPolylineValidate(t *testing.T) {
+	if err := (Polyline{Points: []Point{{0, 0}}}).Validate(); err == nil {
+		t.Error("single point accepted")
+	}
+	if err := (Polyline{Points: []Point{{0, 0}, {0, 0}, {1, 0}}}).Validate(); err == nil {
+		t.Error("zero-length segment accepted")
+	}
+	if err := (Polyline{Points: []Point{{0, 0}, {1, 0}}}).Validate(); err != nil {
+		t.Errorf("valid polyline rejected: %v", err)
+	}
+}
+
+func TestPolylineBounds(t *testing.T) {
+	pl := Polyline{Points: []Point{{0, 0}, {0, 1}, {2, 1}}}
+	b := pl.Bounds(0.2)
+	want := Rect{Min: Point{-0.1, -0.1}, Max: Point{2.1, 1.1}}
+	if math.Abs(b.Min.X-want.Min.X) > 1e-12 || math.Abs(b.Max.Y-want.Max.Y) > 1e-12 {
+		t.Fatalf("bounds %+v, want %+v", b, want)
+	}
+}
+
+func TestPolylineRectilinearAndBends(t *testing.T) {
+	z := Polyline{Points: []Point{{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}}}
+	if !z.IsRectilinear() {
+		t.Fatal("rectilinear polyline not recognized")
+	}
+	if got := z.Bends(); got != 3 {
+		t.Fatalf("bends = %d, want 3", got)
+	}
+	diag := Polyline{Points: []Point{{0, 0}, {1, 1}}}
+	if diag.IsRectilinear() {
+		t.Fatal("diagonal reported rectilinear")
+	}
+	straight := Polyline{Points: []Point{{0, 0}, {0, 1}, {0, 3}}}
+	if straight.Bends() != 0 {
+		t.Fatal("straight chain has no bends")
+	}
+}
+
+func TestPolylineTranslate(t *testing.T) {
+	pl := Polyline{Points: []Point{{0, 0}, {1, 0}}}
+	moved := pl.Translate(Point{2, 3})
+	if moved.Points[0] != (Point{2, 3}) || moved.Points[1] != (Point{3, 3}) {
+		t.Fatalf("translate: %+v", moved.Points)
+	}
+	if pl.Points[0] != (Point{0, 0}) {
+		t.Fatal("translate mutated the original")
+	}
+	if moved.Length() != pl.Length() {
+		t.Fatal("translation changed length")
+	}
+}
+
+func TestSelfIntersects(t *testing.T) {
+	// A proper serpentine never self-intersects.
+	serp := Polyline{Points: []Point{
+		{0, 0}, {0, 1}, {0.2, 1}, {0.2, 0}, {0.4, 0}, {0.4, 1},
+	}}
+	if serp.SelfIntersects() {
+		t.Fatal("serpentine flagged as self-intersecting")
+	}
+	// A loop that crosses itself.
+	loop := Polyline{Points: []Point{
+		{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, -1},
+	}}
+	if !loop.SelfIntersects() {
+		t.Fatal("crossing polyline not detected")
+	}
+	// Overlapping collinear revisit.
+	back := Polyline{Points: []Point{
+		{0, 0}, {2, 0}, {2, 1}, {2, 0.5}, {0, 0.5}, {0.5, 0.5},
+	}}
+	if !back.SelfIntersects() {
+		t.Fatal("overlapping collinear segments not detected")
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, c, d Point
+		want       bool
+	}{
+		{Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0}, true},  // X cross
+		{Point{0, 0}, Point{1, 0}, Point{2, 0}, Point{3, 0}, false}, // collinear apart
+		{Point{0, 0}, Point{2, 0}, Point{1, 0}, Point{3, 0}, true},  // collinear overlap
+		{Point{0, 0}, Point{1, 1}, Point{1, 1}, Point{2, 0}, true},  // shared endpoint
+		{Point{0, 0}, Point{0, 1}, Point{1, 0}, Point{1, 1}, false}, // parallel verticals
+		{Point{0, 0}, Point{2, 0}, Point{1, 0}, Point{1, 5}, true},  // T junction
+		{Point{0, 0}, Point{2, 0}, Point{1, 1}, Point{1, 5}, false}, // above
+	}
+	for i, c := range cases {
+		if got := segmentsIntersect(c.a, c.b, c.c, c.d); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBoundsContainmentProperty(t *testing.T) {
+	// Every vertex of a polyline lies inside its Bounds footprint.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		pts := make([]Point, n)
+		x, y := 0.0, 0.0
+		for i := range pts {
+			if r.Intn(2) == 0 {
+				x += r.Float64()*2 - 1
+			} else {
+				y += r.Float64()*2 - 1
+			}
+			pts[i] = Point{x, y}
+		}
+		pl := Polyline{Points: pts}
+		b := pl.Bounds(0.1)
+		for _, p := range pts {
+			if !b.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}.Add(Point{3, -1})
+	if p != (Point{4, 1}) {
+		t.Fatalf("Add: %+v", p)
+	}
+	q := Point{4, 1}.Sub(Point{1, 1})
+	if q != (Point{3, 0}) {
+		t.Fatalf("Sub: %+v", q)
+	}
+	if d := (Point{0, 0}).Distance(Point{3, 4}); d != 5 {
+		t.Fatalf("Distance: %g", d)
+	}
+}
+
+func TestRectDistance(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{1, 1})
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{NewRect(Point{2, 0}, Point{3, 1}), 1},     // side by side
+		{NewRect(Point{0, 3}, Point{1, 4}), 2},     // stacked
+		{NewRect(Point{4, 5}, Point{5, 6}), 5},     // diagonal 3-4-5
+		{NewRect(Point{0.5, 0.5}, Point{2, 2}), 0}, // overlap
+		{NewRect(Point{1, 0}, Point{2, 1}), 0},     // touching
+	}
+	for i, c := range cases {
+		if got := RectDistance(a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: distance %g, want %g", i, got, c.want)
+		}
+		if got := RectDistance(c.b, a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: not symmetric", i)
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	pl := Polyline{Points: []Point{{0, 0}, {0, 1}, {2, 1}}}
+	segs := pl.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if segs[0] != NewRect(Point{0, 0}, Point{0, 1}) {
+		t.Fatalf("segment 0: %+v", segs[0])
+	}
+	if (Polyline{}).Segments() != nil {
+		t.Fatal("empty polyline should have nil segments")
+	}
+}

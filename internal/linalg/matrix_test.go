@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolve2x2(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	n := 7
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i) - 2.5
+	}
+	x, err := Solve(Identity(n), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("identity solve changed b: %v vs %v", x, b)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [4 3]", x)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Factorize(a); !errors.Is(err, ErrShape) {
+		t.Errorf("Factorize non-square: %v", err)
+	}
+	sq := Identity(3)
+	if _, err := Solve(sq, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("Solve wrong rhs length: %v", err)
+	}
+	if _, err := sq.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("MulVec wrong length: %v", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-24) > 1e-12 {
+		t.Fatalf("det = %g, want 24", f.Det())
+	}
+	// Swapping two rows flips the sign.
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 3)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 0)
+	f, err = Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()+24) > 1e-12 {
+		t.Fatalf("det = %g, want -24", f.Det())
+	}
+}
+
+// randomDiagDominant builds a well-conditioned random system; property
+// tests verify A·x ≈ b after solving.
+func randomDiagDominant(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			a.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		a.Set(i, i, rowSum+1+rng.Float64())
+	}
+	return a
+}
+
+func TestSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := randomDiagDominant(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Float64()*20 - 10
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			return false
+		}
+		return res < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUReusableForMultipleRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomDiagDominant(rng, 12)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		b := make([]float64, 12)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res > 1e-9 {
+			t.Fatalf("rhs %d residual %g", k, res)
+		}
+	}
+}
+
+func TestFactorizeDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDiagDominant(rng, 5)
+	before := a.Clone()
+	if _, err := Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if a.At(i, j) != before.At(i, j) {
+				t.Fatalf("Factorize mutated input at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixAddAndMaxAbs(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Add(0, 1, 2.5)
+	m.Add(0, 1, -1.0)
+	if m.At(0, 1) != 1.5 {
+		t.Fatalf("Add: got %g", m.At(0, 1))
+	}
+	m.Set(1, 0, -9)
+	if m.MaxAbs() != 9 {
+		t.Fatalf("MaxAbs: got %g", m.MaxAbs())
+	}
+}

@@ -1,0 +1,141 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPoissonManufacturedSolution verifies the SOR solver against the
+// analytic eigenfunction u = sin(πx)·sin(πy) on the unit square, for
+// which ∇²u = -2π²·u.
+func TestPoissonManufacturedSolution(t *testing.T) {
+	nx, ny := 65, 65
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	g := NewGrid2D(nx, ny)
+	f := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x := float64(i) * hx
+			y := float64(j) * hy
+			f[j*nx+i] = 2 * math.Pi * math.Pi * math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+		}
+	}
+	iters, err := SolvePoissonSOR(g, f, hx, hy, SORPoissonOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("after %d iters: %v", iters, err)
+	}
+	var maxErr float64
+	for j := 1; j < ny-1; j++ {
+		for i := 1; i < nx-1; i++ {
+			x := float64(i) * hx
+			y := float64(j) * hy
+			want := math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+			if e := math.Abs(g.At(i, j) - want); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	// Second-order scheme on h=1/64: discretization error ~ (πh)²/12.
+	if maxErr > 5e-3 {
+		t.Fatalf("max error %g too large (iters=%d)", maxErr, iters)
+	}
+}
+
+// TestPoissonGridConvergence checks second-order convergence: halving h
+// should cut the error by about 4x.
+func TestPoissonGridConvergence(t *testing.T) {
+	errAt := func(n int) float64 {
+		h := 1.0 / float64(n-1)
+		g := NewGrid2D(n, n)
+		f := make([]float64, n*n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				x := float64(i) * h
+				y := float64(j) * h
+				f[j*n+i] = 2 * math.Pi * math.Pi * math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+			}
+		}
+		if _, err := SolvePoissonSOR(g, f, h, h, SORPoissonOptions{Tol: 1e-13}); err != nil {
+			t.Fatal(err)
+		}
+		var mx float64
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				x := float64(i) * h
+				y := float64(j) * h
+				want := math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+				if e := math.Abs(g.At(i, j) - want); e > mx {
+					mx = e
+				}
+			}
+		}
+		return mx
+	}
+	e1 := errAt(17)
+	e2 := errAt(33)
+	ratio := e1 / e2
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("convergence ratio %.2f, want ≈4 (e1=%g e2=%g)", ratio, e1, e2)
+	}
+}
+
+func TestPoissonZeroSource(t *testing.T) {
+	g := NewGrid2D(9, 9)
+	f := make([]float64, 81)
+	iters, err := SolvePoissonSOR(g, f, 0.125, 0.125, SORPoissonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 {
+		t.Fatalf("zero problem should converge immediately, took %d iters", iters)
+	}
+	for _, v := range g.V {
+		if v != 0 {
+			t.Fatal("solution of homogeneous problem must be zero")
+		}
+	}
+}
+
+func TestPoissonArgumentValidation(t *testing.T) {
+	g := NewGrid2D(9, 9)
+	if _, err := SolvePoissonSOR(g, make([]float64, 5), 0.1, 0.1, SORPoissonOptions{}); !errors.Is(err, ErrShape) {
+		t.Errorf("short source: %v", err)
+	}
+	if _, err := SolvePoissonSOR(g, make([]float64, 81), 0, 0.1, SORPoissonOptions{}); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := SolvePoissonSOR(g, make([]float64, 81), 0.1, 0.1, SORPoissonOptions{Omega: 2.5}); err == nil {
+		t.Error("omega out of range accepted")
+	}
+	small := NewGrid2D(2, 2)
+	if _, err := SolvePoissonSOR(small, make([]float64, 4), 0.1, 0.1, SORPoissonOptions{}); err == nil {
+		t.Error("grid without interior accepted")
+	}
+}
+
+func TestPoissonIterationBudget(t *testing.T) {
+	n := 33
+	h := 1.0 / float64(n-1)
+	g := NewGrid2D(n, n)
+	f := make([]float64, n*n)
+	for i := range f {
+		f[i] = 1
+	}
+	_, err := SolvePoissonSOR(g, f, h, h, SORPoissonOptions{MaxIter: 2, Tol: 1e-14})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestGrid2DAccessors(t *testing.T) {
+	g := NewGrid2D(4, 3)
+	g.Set(2, 1, 7.5)
+	if g.At(2, 1) != 7.5 {
+		t.Fatal("Set/At mismatch")
+	}
+	if g.V[1*4+2] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}

@@ -1,0 +1,182 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"ooc/internal/units"
+)
+
+func TestPressureSourceSingleChannel(t *testing.T) {
+	// A pressure source driving one channel: Q = ΔP / R.
+	n := New()
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	c := mustChannel(t, n, "ab", a, b, 2e12)
+	if err := n.AddPressureSource("pump", b, a, units.Pascals(1000)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.SolveMNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000.0 / 2e12
+	if q := s.Flow(c).CubicMetresPerSecond(); math.Abs(q-want) > 1e-18 {
+		t.Fatalf("flow %g, want %g", q, want)
+	}
+	if q := s.SourceFlow(0).CubicMetresPerSecond(); math.Abs(q-want) > 1e-18 {
+		t.Fatalf("source flow %g, want %g", q, want)
+	}
+	// The source maintains its rise.
+	if dp := s.Pressure(a).Pascals() - s.Pressure(b).Pascals(); math.Abs(dp-1000) > 1e-9 {
+		t.Fatalf("source rise %g", dp)
+	}
+}
+
+func TestPressureSourceToExternal(t *testing.T) {
+	// Inlet held at +500 Pa vs. reservoir, outlet at reservoir: flow
+	// through two series channels.
+	n := New()
+	a := n.AddNode("a")
+	m := n.AddNode("m")
+	b := n.AddNode("b")
+	c1 := mustChannel(t, n, "am", a, m, 1e12)
+	c2 := mustChannel(t, n, "mb", m, b, 3e12)
+	if err := n.AddPressureSource("in", External, a, units.Pascals(500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPressureSource("out", b, External, units.Pascals(0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.SolveMNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500.0 / 4e12
+	if q := s.Flow(c1).CubicMetresPerSecond(); math.Abs(q-want) > 1e-18 {
+		t.Fatalf("series flow %g, want %g", q, want)
+	}
+	if q := s.Flow(c2).CubicMetresPerSecond(); math.Abs(q-want) > 1e-18 {
+		t.Fatalf("series flow %g, want %g", q, want)
+	}
+	// Node a must sit at exactly +500 Pa.
+	if p := s.Pressure(a).Pascals(); math.Abs(p-500) > 1e-9 {
+		t.Fatalf("P(a) = %g", p)
+	}
+}
+
+func TestMNAMatchesFlowSourceSolve(t *testing.T) {
+	// Replacing a flow source with a pressure source at the solved ΔP
+	// must reproduce the same flows (duality check).
+	build := func() (*Network, NodeID, NodeID, []ChannelID) {
+		n := New()
+		a := n.AddNode("a")
+		b := n.AddNode("b")
+		c := n.AddNode("c")
+		ids := []ChannelID{
+			mustChannelT(n, "ab", a, b, 1e12),
+			mustChannelT(n, "bc", b, c, 2e12),
+			mustChannelT(n, "ac", a, c, 4e12),
+		}
+		return n, a, c, ids
+	}
+	n1, a1, c1, ids1 := build()
+	q := units.CubicMetresPerSecond(3e-9)
+	if err := n1.AddSource("pump", c1, a1, q); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := n1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise := s1.Pressure(a1).Pascals() - s1.Pressure(c1).Pascals()
+
+	n2, a2, c2, ids2 := build()
+	if err := n2.AddPressureSource("pump", c2, a2, units.Pascals(rise)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := n2.SolveMNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids1 {
+		f1 := s1.Flow(ids1[i]).CubicMetresPerSecond()
+		f2 := s2.Flow(ids2[i]).CubicMetresPerSecond()
+		if math.Abs(f1-f2) > 1e-18+1e-9*math.Abs(f1) {
+			t.Fatalf("channel %d: flow-driven %g vs pressure-driven %g", i, f1, f2)
+		}
+	}
+	if sf := s2.SourceFlow(0).CubicMetresPerSecond(); math.Abs(sf-3e-9) > 1e-18 {
+		t.Fatalf("source flow %g, want 3e-9", sf)
+	}
+}
+
+func mustChannelT(n *Network, name string, from, to NodeID, r float64) ChannelID {
+	id, err := n.AddChannel(name, from, to, units.HydraulicResistance(r))
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func TestMNAWithMixedSources(t *testing.T) {
+	// A flow source and a pressure source cooperating.
+	n := New()
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	cab := mustChannel(t, n, "ab", a, b, 1e12)
+	if err := n.AddSource("in", External, a, units.CubicMetresPerSecond(1e-9)); err != nil {
+		t.Fatal(err)
+	}
+	// Outlet is a pressure-controlled port at reservoir level.
+	if err := n.AddPressureSource("out", b, External, units.Pascals(0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.SolveMNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := s.Flow(cab).CubicMetresPerSecond(); math.Abs(q-1e-9) > 1e-18 {
+		t.Fatalf("flow %g", q)
+	}
+	// The pressure port must absorb exactly the injected flow.
+	if sf := s.SourceFlow(0).CubicMetresPerSecond(); math.Abs(sf-1e-9) > 1e-18 {
+		t.Fatalf("port flow %g", sf)
+	}
+	if res := s.MaxKCLResidual().CubicMetresPerSecond(); res > 1e-18 {
+		t.Fatalf("KCL residual %g (pressure-source flows must enter the balance)", res)
+	}
+}
+
+func TestPressureSourceValidation(t *testing.T) {
+	n := New()
+	a := n.AddNode("a")
+	if err := n.AddPressureSource("self", a, a, 1); err == nil {
+		t.Error("self-loop pressure source accepted")
+	}
+	if err := n.AddPressureSource("bad", NodeID(9), a, 1); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestSolveMNAWithoutPressureSources(t *testing.T) {
+	// SolveMNA must coincide with Solve on pure flow-source networks.
+	n := New()
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	c := mustChannel(t, n, "ab", a, b, 1e12)
+	if err := n.AddSource("p", b, a, units.CubicMetresPerSecond(2e-9)); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := n.SolveMNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Flow(c) != s2.Flow(c) {
+		t.Fatalf("Solve %v vs SolveMNA %v", s1.Flow(c), s2.Flow(c))
+	}
+}

@@ -1,0 +1,185 @@
+// Package optimize searches the free geometric parameters of the OoC
+// designer for a chip that best meets an engineering objective while
+// staying within validation constraints — a first step beyond the
+// paper's single-shot generation towards the "further development of
+// automatic design methods" its conclusion anticipates.
+//
+// The design method leaves genuine freedom (Sec. III-B-1: "the other
+// channels can be freely sized … a reasonable choice is …"): the
+// uniform channel height and the module gap budget. Both trade off
+// against each other — taller channels lower pressure but raise flow
+// rates and Reynolds numbers; wider gaps give meanders room but grow
+// the chip. The optimizer enumerates a candidate grid, generates and
+// validates every design, discards infeasible ones and returns the
+// best.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ooc/internal/core"
+	"ooc/internal/sim"
+	"ooc/internal/units"
+)
+
+// Objective selects what to minimize.
+type Objective int
+
+const (
+	// MinimizeArea minimizes the chip bounding-box area.
+	MinimizeArea Objective = iota
+	// MinimizePumpPressure minimizes the inlet pump pressure.
+	MinimizePumpPressure
+	// MinimizeTotalFlow minimizes the inlet pump flow (medium
+	// consumption — expensive media motivate this in practice).
+	MinimizeTotalFlow
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinimizeArea:
+		return "chip area"
+	case MinimizePumpPressure:
+		return "pump pressure"
+	case MinimizeTotalFlow:
+		return "medium consumption"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Constraints bound the feasible region.
+type Constraints struct {
+	// MaxFlowDeviation is the validation budget (fraction). Zero
+	// selects 0.05.
+	MaxFlowDeviation float64
+	// MaxPumpPressure caps the inlet pump pressure; zero = unbounded.
+	MaxPumpPressure units.Pressure
+	// MaxChipWidth/MaxChipHeight cap the footprint; zero = unbounded.
+	MaxChipWidth, MaxChipHeight units.Length
+}
+
+// Options configures the search.
+type Options struct {
+	Objective   Objective
+	Constraints Constraints
+	// ChannelHeights are the candidate uniform channel heights; nil
+	// selects {100, 125, 150, 175, 200} µm.
+	ChannelHeights []units.Length
+	// MinGaps are the candidate module gap budgets; nil selects
+	// {2, 2.5, 3, 4} mm.
+	MinGaps []units.Length
+}
+
+// Candidate records one evaluated design point.
+type Candidate struct {
+	ChannelHeight units.Length
+	MinGap        units.Length
+	Feasible      bool
+	// Score is the objective value (lower is better); NaN when the
+	// candidate failed to generate.
+	Score float64
+	// Reason explains infeasibility.
+	Reason string
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	Best       *core.Design
+	BestReport *sim.Report
+	BestSpec   core.Spec
+	Candidates []Candidate
+	Evaluated  int
+	Feasible   int
+}
+
+// ErrInfeasible is returned when no candidate satisfies the
+// constraints.
+var ErrInfeasible = errors.New("optimize: no feasible design in the search grid")
+
+// Optimize searches the candidate grid. The input specification's
+// explicit ChannelHeight is overridden per candidate; all other
+// parameters are preserved.
+func Optimize(spec core.Spec, opt Options) (*Result, error) {
+	heights := opt.ChannelHeights
+	if heights == nil {
+		heights = []units.Length{100e-6, 125e-6, 150e-6, 175e-6, 200e-6}
+	}
+	gaps := opt.MinGaps
+	if gaps == nil {
+		gaps = []units.Length{2e-3, 2.5e-3, 3e-3, 4e-3}
+	}
+	maxDev := opt.Constraints.MaxFlowDeviation
+	if maxDev == 0 {
+		maxDev = 0.05
+	}
+
+	res := &Result{}
+	bestScore := math.Inf(1)
+	for _, h := range heights {
+		for _, g := range gaps {
+			cand := Candidate{ChannelHeight: h, MinGap: g, Score: math.NaN()}
+			res.Evaluated++
+
+			s := spec
+			s.Geometry.ChannelHeight = h
+			s.Geometry.MinGap = g
+			d, err := core.Generate(s)
+			if err != nil {
+				cand.Reason = fmt.Sprintf("generation failed: %v", err)
+				res.Candidates = append(res.Candidates, cand)
+				continue
+			}
+			rep, err := sim.Validate(d, sim.Options{})
+			if err != nil {
+				cand.Reason = fmt.Sprintf("validation failed: %v", err)
+				res.Candidates = append(res.Candidates, cand)
+				continue
+			}
+
+			cand.Score = score(opt.Objective, d, rep)
+			switch {
+			case rep.MaxFlowDeviation > maxDev:
+				cand.Reason = fmt.Sprintf("flow deviation %.1f%% over budget %.1f%%",
+					rep.MaxFlowDeviation*100, maxDev*100)
+			case opt.Constraints.MaxPumpPressure > 0 && rep.PumpPressure > opt.Constraints.MaxPumpPressure:
+				cand.Reason = fmt.Sprintf("pump pressure %.0f Pa over cap %.0f Pa",
+					rep.PumpPressure.Pascals(), opt.Constraints.MaxPumpPressure.Pascals())
+			case opt.Constraints.MaxChipWidth > 0 && units.Length(d.Bounds.Width()) > opt.Constraints.MaxChipWidth:
+				cand.Reason = fmt.Sprintf("chip width %.1f mm over cap", d.Bounds.Width()*1e3)
+			case opt.Constraints.MaxChipHeight > 0 && units.Length(d.Bounds.Height()) > opt.Constraints.MaxChipHeight:
+				cand.Reason = fmt.Sprintf("chip height %.1f mm over cap", d.Bounds.Height()*1e3)
+			default:
+				cand.Feasible = true
+				res.Feasible++
+				if cand.Score < bestScore {
+					bestScore = cand.Score
+					res.Best = d
+					res.BestReport = rep
+					res.BestSpec = s
+				}
+			}
+			res.Candidates = append(res.Candidates, cand)
+		}
+	}
+	if res.Best == nil {
+		return res, ErrInfeasible
+	}
+	return res, nil
+}
+
+func score(o Objective, d *core.Design, rep *sim.Report) float64 {
+	switch o {
+	case MinimizeArea:
+		return d.Bounds.Width() * d.Bounds.Height()
+	case MinimizePumpPressure:
+		return rep.PumpPressure.Pascals()
+	case MinimizeTotalFlow:
+		return d.Pumps.Inlet.CubicMetresPerSecond()
+	default:
+		return math.NaN()
+	}
+}

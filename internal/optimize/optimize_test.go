@@ -1,0 +1,149 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ooc/internal/core"
+	"ooc/internal/fluid"
+	"ooc/internal/physio"
+	"ooc/internal/units"
+)
+
+func baseSpec() core.Spec {
+	return core.Spec{
+		Name:         "optimize_test",
+		Reference:    physio.StandardMale(),
+		OrganismMass: units.Kilograms(1e-6),
+		Modules: []core.ModuleSpec{
+			{Organ: physio.Lung, Kind: core.Layered},
+			{Organ: physio.Liver, Kind: core.Layered},
+			{Organ: physio.Brain, Kind: core.Layered},
+		},
+		Fluid:       fluid.MediumLowViscosity,
+		ShearStress: 1.5,
+	}
+}
+
+func TestOptimizeArea(t *testing.T) {
+	res, err := Optimize(baseSpec(), Options{Objective: MinimizeArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Feasible == 0 {
+		t.Fatal("no feasible design")
+	}
+	if res.Evaluated != 20 { // 5 heights × 4 gaps
+		t.Fatalf("evaluated %d, want 20", res.Evaluated)
+	}
+	// The winner must be at least as good as the default-geometry chip.
+	def, err := core.Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestArea := res.Best.Bounds.Width() * res.Best.Bounds.Height()
+	defArea := def.Bounds.Width() * def.Bounds.Height()
+	if bestArea > defArea*1.0001 {
+		t.Fatalf("optimizer (%.1f mm²) worse than default (%.1f mm²)",
+			bestArea*1e6, defArea*1e6)
+	}
+	// The candidate log is complete and scores where feasible.
+	for _, c := range res.Candidates {
+		if c.Feasible && math.IsNaN(c.Score) {
+			t.Fatal("feasible candidate without score")
+		}
+		if !c.Feasible && c.Reason == "" {
+			t.Fatal("infeasible candidate without reason")
+		}
+	}
+}
+
+func TestOptimizePumpPressure(t *testing.T) {
+	area, err := Optimize(baseSpec(), Options{Objective: MinimizeArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pressure, err := Optimize(baseSpec(), Options{Objective: MinimizePumpPressure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different objectives should generally find different optima; at
+	// minimum the pressure winner can't have higher pump pressure than
+	// the area winner.
+	if pressure.BestReport.PumpPressure > area.BestReport.PumpPressure {
+		t.Fatalf("pressure optimum %.0f Pa worse than area optimum %.0f Pa",
+			pressure.BestReport.PumpPressure.Pascals(), area.BestReport.PumpPressure.Pascals())
+	}
+}
+
+func TestOptimizeTotalFlow(t *testing.T) {
+	res, err := Optimize(baseSpec(), Options{Objective: MinimizeTotalFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower channels mean lower flows (Q ∝ h²): the winner should use
+	// the smallest candidate height.
+	if res.BestSpec.Geometry.ChannelHeight != units.Length(100e-6) {
+		t.Fatalf("flow optimum uses h=%v, expected the smallest candidate",
+			res.BestSpec.Geometry.ChannelHeight)
+	}
+}
+
+func TestInfeasibleConstraints(t *testing.T) {
+	_, err := Optimize(baseSpec(), Options{
+		Objective: MinimizeArea,
+		Constraints: Constraints{
+			MaxChipWidth: units.Millimetres(1), // impossible
+		},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestConstraintFiltering(t *testing.T) {
+	// A modest pressure cap must exclude some candidates but keep the
+	// problem feasible.
+	unconstrained, err := Optimize(baseSpec(), Options{Objective: MinimizeArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Optimize(baseSpec(), Options{
+		Objective: MinimizeArea,
+		Constraints: Constraints{
+			MaxPumpPressure: unconstrained.BestReport.PumpPressure,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Feasible > unconstrained.Feasible {
+		t.Fatal("cap increased feasibility")
+	}
+	if capped.BestReport.PumpPressure > unconstrained.BestReport.PumpPressure {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestCustomGrids(t *testing.T) {
+	res, err := Optimize(baseSpec(), Options{
+		Objective:      MinimizeArea,
+		ChannelHeights: []units.Length{150e-6},
+		MinGaps:        []units.Length{2.5e-3, 3e-3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 2 {
+		t.Fatalf("evaluated %d, want 2", res.Evaluated)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	for _, o := range []Objective{MinimizeArea, MinimizePumpPressure, MinimizeTotalFlow} {
+		if o.String() == "" {
+			t.Fatal("empty objective name")
+		}
+	}
+}

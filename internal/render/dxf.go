@@ -1,0 +1,111 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"ooc/internal/core"
+)
+
+// DXF renders the design as a minimal AutoCAD R12 DXF document, the
+// interchange format mask shops and micro-milling services expect.
+// Channel centrelines become POLYLINE entities with constant width
+// (their physical channel width); organ-module basins become closed
+// polylines on their own layer. Coordinates are emitted in millimetres.
+func DXF(d *core.Design) string {
+	var b strings.Builder
+	w := func(code int, value string) {
+		fmt.Fprintf(&b, "%d\n%s\n", code, value)
+	}
+	wf := func(code int, v float64) {
+		fmt.Fprintf(&b, "%d\n%.6f\n", code, v)
+	}
+
+	layers := []string{"MODULES", "SUPPLY", "DISCHARGE", "FEED", "DRAIN", "CONNECTION", "MODULE_CHANNEL"}
+
+	// Header section (minimal).
+	w(0, "SECTION")
+	w(2, "HEADER")
+	w(9, "$ACADVER")
+	w(1, "AC1009") // R12
+	w(0, "ENDSEC")
+
+	// Layer table.
+	w(0, "SECTION")
+	w(2, "TABLES")
+	w(0, "TABLE")
+	w(2, "LAYER")
+	w(70, fmt.Sprint(len(layers)))
+	for i, name := range layers {
+		w(0, "LAYER")
+		w(2, name)
+		w(70, "0")
+		w(62, fmt.Sprint(i+1)) // color index
+		w(6, "CONTINUOUS")
+	}
+	w(0, "ENDTAB")
+	w(0, "ENDSEC")
+
+	// Entities.
+	w(0, "SECTION")
+	w(2, "ENTITIES")
+
+	// Organ-module basins as closed rectangles.
+	for _, m := range d.Modules {
+		x0 := m.InletX.Millimetres()
+		x1 := m.OutletX.Millimetres()
+		hw := m.Width.Millimetres() / 2
+		w(0, "POLYLINE")
+		w(8, "MODULES")
+		w(66, "1")
+		w(70, "1") // closed
+		for _, p := range [][2]float64{{x0, -hw}, {x1, -hw}, {x1, hw}, {x0, hw}} {
+			w(0, "VERTEX")
+			w(8, "MODULES")
+			wf(10, p[0])
+			wf(20, p[1])
+		}
+		w(0, "SEQEND")
+	}
+
+	// Channels as width-carrying polylines.
+	for _, c := range d.Channels {
+		layer := channelLayer(c.Kind)
+		w(0, "POLYLINE")
+		w(8, layer)
+		w(66, "1")
+		w(70, "0")
+		wf(40, c.Cross.Width.Millimetres()) // start width
+		wf(41, c.Cross.Width.Millimetres()) // end width
+		for _, p := range c.Path.Points {
+			w(0, "VERTEX")
+			w(8, layer)
+			wf(10, p.X*1e3)
+			wf(20, p.Y*1e3)
+		}
+		w(0, "SEQEND")
+	}
+
+	w(0, "ENDSEC")
+	w(0, "EOF")
+	return b.String()
+}
+
+func channelLayer(k core.ChannelKind) string {
+	switch k {
+	case core.ModuleChannel:
+		return "MODULE_CHANNEL"
+	case core.ConnectionChannel:
+		return "CONNECTION"
+	case core.SupplyChannel:
+		return "SUPPLY"
+	case core.DischargeChannel:
+		return "DISCHARGE"
+	case core.FeedSegment, core.InletLead:
+		return "FEED"
+	case core.DrainSegment, core.OutletLead:
+		return "DRAIN"
+	default:
+		return "0"
+	}
+}

@@ -1,0 +1,213 @@
+package render
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ooc/internal/core"
+)
+
+// GDSII record types used by the writer.
+const (
+	gdsHeader   = 0x0002
+	gdsBgnLib   = 0x0102
+	gdsLibName  = 0x0206
+	gdsUnits    = 0x0305
+	gdsEndLib   = 0x0400
+	gdsBgnStr   = 0x0502
+	gdsStrName  = 0x0606
+	gdsEndStr   = 0x0700
+	gdsBoundary = 0x0800
+	gdsPath     = 0x0900
+	gdsLayer    = 0x0D02
+	gdsDatatype = 0x0E02
+	gdsWidth    = 0x0F03
+	gdsXY       = 0x1003
+	gdsEndEl    = 0x1100
+	gdsPathType = 0x2102
+)
+
+// GDS layer assignment per channel kind; modules on layer 10.
+func gdsLayerOf(k core.ChannelKind) int16 {
+	switch k {
+	case core.ModuleChannel:
+		return 1
+	case core.ConnectionChannel:
+		return 2
+	case core.SupplyChannel:
+		return 3
+	case core.DischargeChannel:
+		return 4
+	case core.FeedSegment, core.InletLead:
+		return 5
+	case core.DrainSegment, core.OutletLead:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// dbuPerMetre: database unit is 1 nm.
+const dbuPerMetre = 1e9
+
+// GDS serializes the design as a GDSII stream (the photolithography
+// mask interchange standard): one structure named after the chip,
+// channels as PATH elements with their physical width and square ends,
+// organ-module basins as BOUNDARY rectangles on layer 10. Database
+// unit 1 nm, user unit 1 µm.
+func GDS(d *core.Design) []byte {
+	var b bytes.Buffer
+	rec := func(rt uint16, payload []byte) {
+		if len(payload)%2 != 0 {
+			payload = append(payload, 0)
+		}
+		binary.Write(&b, binary.BigEndian, uint16(len(payload)+4))
+		binary.Write(&b, binary.BigEndian, rt)
+		b.Write(payload)
+	}
+	i16 := func(vs ...int16) []byte {
+		var p bytes.Buffer
+		for _, v := range vs {
+			binary.Write(&p, binary.BigEndian, v)
+		}
+		return p.Bytes()
+	}
+	i32 := func(vs ...int32) []byte {
+		var p bytes.Buffer
+		for _, v := range vs {
+			binary.Write(&p, binary.BigEndian, v)
+		}
+		return p.Bytes()
+	}
+	str := func(s string) []byte { return []byte(s) }
+	coord := func(m float64) int32 { return int32(math.Round(m * dbuPerMetre)) }
+
+	rec(gdsHeader, i16(600))
+	rec(gdsBgnLib, i16(make([]int16, 12)...))
+	rec(gdsLibName, str("OOC"))
+	// UNITS: user units per dbu (1e-3 → user unit µm), metres per dbu.
+	rec(gdsUnits, append(gdsReal(1e-3), gdsReal(1e-9)...))
+	rec(gdsBgnStr, i16(make([]int16, 12)...))
+	name := d.Name
+	if name == "" {
+		name = "CHIP"
+	}
+	rec(gdsStrName, str(sanitizeGDSName(name)))
+
+	// Organ-module basins.
+	for _, m := range d.Modules {
+		x0 := coord(float64(m.InletX))
+		x1 := coord(float64(m.OutletX))
+		hw := coord(float64(m.Width) / 2)
+		rec(gdsBoundary, nil)
+		rec(gdsLayer, i16(10))
+		rec(gdsDatatype, i16(0))
+		rec(gdsXY, i32(
+			x0, -hw,
+			x1, -hw,
+			x1, +hw,
+			x0, +hw,
+			x0, -hw,
+		))
+		rec(gdsEndEl, nil)
+	}
+
+	// Channels as width-carrying paths.
+	for _, c := range d.Channels {
+		rec(gdsPath, nil)
+		rec(gdsLayer, i16(gdsLayerOf(c.Kind)))
+		rec(gdsDatatype, i16(0))
+		rec(gdsPathType, i16(2)) // square ends extended by half width
+		rec(gdsWidth, i32(coord(float64(c.Cross.Width))))
+		var xy []int32
+		for _, p := range c.Path.Points {
+			xy = append(xy, coord(p.X), coord(p.Y))
+		}
+		rec(gdsXY, i32(xy...))
+		rec(gdsEndEl, nil)
+	}
+
+	rec(gdsEndStr, nil)
+	rec(gdsEndLib, nil)
+	return b.Bytes()
+}
+
+// sanitizeGDSName restricts structure names to the GDSII charset.
+func sanitizeGDSName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && i < 32; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '$', c == '?':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		out = []byte("CHIP")
+	}
+	return string(out)
+}
+
+// gdsReal encodes a float64 as the GDSII 8-byte excess-64 base-16
+// real: 1 sign bit, 7-bit exponent E (value = mantissa · 16^(E−64)),
+// 56-bit mantissa in [1/16, 1).
+func gdsReal(v float64) []byte {
+	out := make([]byte, 8)
+	if v == 0 {
+		return out
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	exp := 64
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	if exp < 0 {
+		return out // underflow to zero
+	}
+	if exp > 127 {
+		exp = 127 // clamp overflow
+	}
+	out[0] = sign | byte(exp)
+	mant := v
+	for i := 1; i < 8; i++ {
+		mant *= 256
+		d := math.Floor(mant)
+		out[i] = byte(d)
+		mant -= d
+	}
+	return out
+}
+
+// parseGDSReal inverts gdsReal (used by the tests and by consumers
+// that verify units).
+func parseGDSReal(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("render: GDS real needs 8 bytes, got %d", len(b))
+	}
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7F) - 64
+	var mant float64
+	scale := 1.0
+	for i := 1; i < 8; i++ {
+		scale /= 256
+		mant += float64(b[i]) * scale
+	}
+	return sign * mant * math.Pow(16, float64(exp)), nil
+}

@@ -1,0 +1,160 @@
+package render
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// walkGDS iterates the records of a GDSII stream.
+func walkGDS(t *testing.T, data []byte) []struct {
+	Type    uint16
+	Payload []byte
+} {
+	t.Helper()
+	var out []struct {
+		Type    uint16
+		Payload []byte
+	}
+	pos := 0
+	for pos < len(data) {
+		if pos+4 > len(data) {
+			t.Fatalf("truncated record header at %d", pos)
+		}
+		length := int(binary.BigEndian.Uint16(data[pos:]))
+		rt := binary.BigEndian.Uint16(data[pos+2:])
+		if length < 4 || pos+length > len(data) {
+			t.Fatalf("bad record length %d at %d", length, pos)
+		}
+		out = append(out, struct {
+			Type    uint16
+			Payload []byte
+		}{rt, data[pos+4 : pos+length]})
+		pos += length
+	}
+	return out
+}
+
+func TestGDSStructure(t *testing.T) {
+	d := sampleDesign(t)
+	data := GDS(d)
+	recs := walkGDS(t, data)
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	if recs[0].Type != gdsHeader {
+		t.Fatal("stream must start with HEADER")
+	}
+	if recs[len(recs)-1].Type != gdsEndLib {
+		t.Fatal("stream must end with ENDLIB")
+	}
+	counts := map[uint16]int{}
+	for _, r := range recs {
+		counts[r.Type]++
+	}
+	if counts[gdsPath] != len(d.Channels) {
+		t.Fatalf("PATH records %d, channels %d", counts[gdsPath], len(d.Channels))
+	}
+	if counts[gdsBoundary] != len(d.Modules) {
+		t.Fatalf("BOUNDARY records %d, modules %d", counts[gdsBoundary], len(d.Modules))
+	}
+	// Every element is terminated.
+	if counts[gdsEndEl] != counts[gdsPath]+counts[gdsBoundary] {
+		t.Fatal("unbalanced ENDEL records")
+	}
+	if counts[gdsBgnStr] != 1 || counts[gdsEndStr] != 1 {
+		t.Fatal("exactly one structure expected")
+	}
+	// All payload lengths even (GDSII requirement).
+	for i, r := range recs {
+		if len(r.Payload)%2 != 0 {
+			t.Fatalf("record %d has odd payload", i)
+		}
+	}
+}
+
+func TestGDSUnits(t *testing.T) {
+	d := sampleDesign(t)
+	recs := walkGDS(t, GDS(d))
+	for _, r := range recs {
+		if r.Type != gdsUnits {
+			continue
+		}
+		if len(r.Payload) != 16 {
+			t.Fatalf("UNITS payload %d bytes", len(r.Payload))
+		}
+		user, err := parseGDSReal(r.Payload[:8])
+		if err != nil {
+			t.Fatal(err)
+		}
+		metre, err := parseGDSReal(r.Payload[8:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(user-1e-3)/1e-3 > 1e-12 {
+			t.Fatalf("user unit %g, want 1e-3", user)
+		}
+		if math.Abs(metre-1e-9)/1e-9 > 1e-12 {
+			t.Fatalf("db unit %g m, want 1e-9", metre)
+		}
+		return
+	}
+	t.Fatal("UNITS record missing")
+}
+
+func TestGDSRealRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 1e-9, 1e-3, 0.5, 123456.789, -2.75e-7, 1e20} {
+		enc := gdsReal(v)
+		dec, err := parseGDSReal(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 {
+			if dec != 0 {
+				t.Fatal("zero encoding")
+			}
+			continue
+		}
+		if math.Abs(dec-v)/math.Abs(v) > 1e-12 {
+			t.Fatalf("round trip %g -> %g", v, dec)
+		}
+	}
+}
+
+func TestGDSCoordinatesWithinBounds(t *testing.T) {
+	d := sampleDesign(t)
+	recs := walkGDS(t, GDS(d))
+	minX := int32(math.Round(d.Bounds.Min.X * dbuPerMetre))
+	maxX := int32(math.Round(d.Bounds.Max.X * dbuPerMetre))
+	minY := int32(math.Round(d.Bounds.Min.Y * dbuPerMetre))
+	maxY := int32(math.Round(d.Bounds.Max.Y * dbuPerMetre))
+	pad := int32(2e6) // 2 mm slack for path end extensions
+	for _, r := range recs {
+		if r.Type != gdsXY {
+			continue
+		}
+		for off := 0; off+8 <= len(r.Payload); off += 8 {
+			x := int32(binary.BigEndian.Uint32(r.Payload[off:]))
+			y := int32(binary.BigEndian.Uint32(r.Payload[off+4:]))
+			if x < minX-pad || x > maxX+pad || y < minY-pad || y > maxY+pad {
+				t.Fatalf("coordinate (%d, %d) outside chip bounds", x, y)
+			}
+		}
+	}
+}
+
+func TestSanitizeGDSName(t *testing.T) {
+	if sanitizeGDSName("male_simple") != "male_simple" {
+		t.Fatal("valid name changed")
+	}
+	if got := sanitizeGDSName("bad name!"); got != "bad_name_" {
+		t.Fatalf("sanitized to %q", got)
+	}
+	if sanitizeGDSName("") != "CHIP" {
+		t.Fatal("empty name not defaulted")
+	}
+	long := sanitizeGDSName("abcdefghijklmnopqrstuvwxyz0123456789")
+	if len(long) > 32 {
+		t.Fatal("name not truncated to 32 chars")
+	}
+}

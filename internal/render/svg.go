@@ -1,0 +1,104 @@
+// Package render exports generated OoC designs as SVG drawings (the
+// chip layout in the style of the paper's Fig. 3/4) and as JSON design
+// files for interchange with other tools.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"ooc/internal/core"
+)
+
+// SVGOptions configures the drawing.
+type SVGOptions struct {
+	// PixelsPerMillimetre scales the drawing. Zero selects 20 px/mm.
+	PixelsPerMillimetre float64
+	// ShowLabels adds channel and module names.
+	ShowLabels bool
+}
+
+// kindColor maps channel kinds to stroke colors; supply-side channels
+// are drawn in red-ish tones and discharge-side in blue, matching the
+// paper's Fig. 3 color coding of the pressure cycles.
+func kindColor(k core.ChannelKind) string {
+	switch k {
+	case core.ModuleChannel:
+		return "#444444"
+	case core.ConnectionChannel:
+		return "#7b2d8b"
+	case core.SupplyChannel:
+		return "#c0392b"
+	case core.FeedSegment, core.InletLead:
+		return "#e67e22"
+	case core.DischargeChannel:
+		return "#2b6cb0"
+	case core.DrainSegment, core.OutletLead:
+		return "#3498db"
+	default:
+		return "#000000"
+	}
+}
+
+// SVG renders the design as a standalone SVG document.
+func SVG(d *core.Design, opt SVGOptions) string {
+	scale := opt.PixelsPerMillimetre
+	if scale == 0 {
+		scale = 20
+	}
+	pxPerMetre := scale * 1e3
+	pad := 20.0
+
+	b := d.Bounds
+	width := b.Width()*pxPerMetre + 2*pad
+	height := b.Height()*pxPerMetre + 2*pad
+	// SVG y grows downwards; chip y grows upwards.
+	tx := func(x float64) float64 { return (x-b.Min.X)*pxPerMetre + pad }
+	ty := func(y float64) float64 { return (b.Max.Y-y)*pxPerMetre + pad }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="100%%" height="100%%" fill="#fdfdfb"/>`+"\n")
+	fmt.Fprintf(&sb, `<title>%s — generated organ-on-chip design</title>`+"\n", escape(d.Name))
+
+	// Organ module basins behind the channel drawing.
+	for _, m := range d.Modules {
+		w := float64(m.Width)
+		x0 := tx(float64(m.InletX))
+		x1 := tx(float64(m.OutletX))
+		y0 := ty(w / 2)
+		fmt.Fprintf(&sb,
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#e8f6e8" stroke="#2e7d32" stroke-width="1"/>`+"\n",
+			x0, y0, x1-x0, w*pxPerMetre)
+		if opt.ShowLabels {
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" fill="#2e7d32">%s</text>`+"\n",
+				x0, y0-4, escape(m.Name))
+		}
+	}
+
+	// Channels as stroked centrelines at physical width.
+	for _, c := range d.Channels {
+		var pts []string
+		for _, p := range c.Path.Points {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", tx(p.X), ty(p.Y)))
+		}
+		fmt.Fprintf(&sb,
+			`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f" stroke-linejoin="round" stroke-linecap="round"><title>%s (%s): L=%s, Q=%s</title></polyline>`+"\n",
+			strings.Join(pts, " "), kindColor(c.Kind),
+			float64(c.Cross.Width)*pxPerMetre,
+			escape(c.Name), c.Kind, c.Length, c.DesignFlow)
+	}
+
+	if opt.ShowLabels {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="14" font-size="12" fill="#333">%s — %d modules, pumps in/out %s, recirc %s</text>`+"\n",
+			pad, escape(d.Name), len(d.Modules), d.Pumps.Inlet, d.Pumps.Recirculation)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,196 @@
+// Package report aggregates validation results into the tables the
+// paper's evaluation presents: Table I (per-use-case average and
+// worst-case deviations in perfusion and module flow rate) and the
+// Fig. 4 per-module flow listing.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ooc/internal/sim"
+)
+
+// Row is one Table I line: aggregated deviations for one use case over
+// all its parameter instances. Deviations are percentages.
+type Row struct {
+	Chip    string
+	Modules int
+	// Instances actually aggregated (generation or validation failures
+	// are counted separately).
+	Instances int
+	Failures  int
+	PerfAvg   float64
+	PerfMax   float64
+	FlowAvg   float64
+	FlowMax   float64
+}
+
+// Table is a full Table I reproduction.
+type Table struct {
+	Rows []Row
+}
+
+// Aggregate folds the validation reports of one use case into a row.
+// The average is taken over all module deviations of all instances
+// (matching the paper's "aggregated these values for all instances");
+// the max is the worst case.
+func Aggregate(chip string, modules int, reports []*sim.Report, failures int) Row {
+	row := Row{Chip: chip, Modules: modules, Instances: len(reports), Failures: failures}
+	var nPerf, nFlow int
+	var sumPerf, sumFlow float64
+	for _, rep := range reports {
+		for _, m := range rep.Modules {
+			sumPerf += m.PerfusionDeviation
+			nPerf++
+			row.PerfMax = math.Max(row.PerfMax, m.PerfusionDeviation*100)
+			sumFlow += m.FlowDeviation
+			nFlow++
+			row.FlowMax = math.Max(row.FlowMax, m.FlowDeviation*100)
+		}
+	}
+	if nPerf > 0 {
+		row.PerfAvg = sumPerf / float64(nPerf) * 100
+	}
+	if nFlow > 0 {
+		row.FlowAvg = sumFlow / float64(nFlow) * 100
+	}
+	return row
+}
+
+// Sort orders rows as in the paper: named use cases first (by module
+// count, then name), then the generic series.
+func (t *Table) Sort() {
+	order := map[string]int{
+		"male_simple": 0, "female_simple": 1, "male_gi_tract": 2, "male_kidney": 3,
+		"generic1": 4, "generic2": 5, "generic3": 6, "generic4": 7,
+	}
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		oi, iok := order[t.Rows[i].Chip]
+		oj, jok := order[t.Rows[j].Chip]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return t.Rows[i].Chip < t.Rows[j].Chip
+		}
+	})
+}
+
+// Format renders the table in the layout of the paper's Table I.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %8s | %21s | %21s\n", "", "", "Deviation [%]", "Deviation [%]")
+	fmt.Fprintf(&b, "%-15s %8s | %21s | %21s\n", "Chip", "Modules", "in perfusion", "in flow rate")
+	fmt.Fprintf(&b, "%-15s %8s | %10s %10s | %10s %10s\n", "", "", "avg", "max", "avg", "max")
+	fmt.Fprintln(&b, strings.Repeat("-", 74))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-15s %8d | %10.2f %10.2f | %10.2f %10.2f\n",
+			r.Chip, r.Modules, r.PerfAvg, r.PerfMax, r.FlowAvg, r.FlowMax)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("chip,modules,instances,failures,perf_avg_pct,perf_max_pct,flow_avg_pct,flow_max_pct\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f\n",
+			r.Chip, r.Modules, r.Instances, r.Failures,
+			r.PerfAvg, r.PerfMax, r.FlowAvg, r.FlowMax)
+	}
+	return b.String()
+}
+
+// FormatFig4 renders the per-module flow comparison of the paper's
+// Fig. 4: intended vs. measured module flow rates and the resulting
+// deviations, plus the perfusion deviations.
+func FormatFig4(rep *sim.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — %s: module flow rates (CFD-substitute validation)\n", rep.Design.Name)
+	fmt.Fprintf(&b, "%-10s %16s %16s %10s | %10s %10s %10s\n",
+		"module", "intended[m3/s]", "measured[m3/s]", "dev[%]", "perf spec", "perf meas", "dev[%]")
+	for _, m := range rep.Modules {
+		fmt.Fprintf(&b, "%-10s %16.4g %16.4g %10.2f | %10.3f %10.3f %10.2f\n",
+			m.Name,
+			m.SpecFlow.CubicMetresPerSecond(), m.ActualFlow.CubicMetresPerSecond(),
+			m.FlowDeviation*100,
+			m.SpecPerfusion, m.ActualPerfusion, m.PerfusionDeviation*100)
+	}
+	fmt.Fprintf(&b, "pump pressure: %.1f Pa, KCL residual: %.3g m3/s\n",
+		rep.PumpPressure.Pascals(), rep.KCLResidual.CubicMetresPerSecond())
+	return b.String()
+}
+
+// SeriesPoint is one point of a deviation-vs-parameter data series.
+type SeriesPoint struct {
+	Parameter float64
+	FlowAvg   float64 // percent
+	PerfAvg   float64 // percent
+	N         int     // instances aggregated into this point
+}
+
+// Series is a plottable deviation trend over one swept parameter,
+// aggregated over everything else — the data behind "deviation grows
+// towards the low-viscosity, tight-spacing corner" (Sec. IV).
+type Series struct {
+	Parameter string // "viscosity [Pa·s]", "shear [Pa]", "spacing [m]"
+	Points    []SeriesPoint
+}
+
+// AggregateSeries groups per-instance reports by a parameter value.
+// keys and reports run in parallel; points are sorted by parameter.
+func AggregateSeries(name string, keys []float64, reports []*sim.Report) (Series, error) {
+	if len(keys) != len(reports) {
+		return Series{}, fmt.Errorf("report: %d keys vs %d reports", len(keys), len(reports))
+	}
+	type acc struct {
+		flow, perf float64
+		n          int
+	}
+	groups := map[float64]*acc{}
+	for i, rep := range reports {
+		g := groups[keys[i]]
+		if g == nil {
+			g = &acc{}
+			groups[keys[i]] = g
+		}
+		for _, m := range rep.Modules {
+			g.flow += m.FlowDeviation
+			g.perf += m.PerfusionDeviation
+			g.n++
+		}
+	}
+	s := Series{Parameter: name}
+	for k, g := range groups {
+		if g.n == 0 {
+			continue
+		}
+		s.Points = append(s.Points, SeriesPoint{
+			Parameter: k,
+			FlowAvg:   g.flow / float64(g.n) * 100,
+			PerfAvg:   g.perf / float64(g.n) * 100,
+			N:         g.n,
+		})
+	}
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].Parameter < s.Points[j].Parameter })
+	return s, nil
+}
+
+// FormatSeries renders a series as an aligned text table.
+func FormatSeries(s Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deviation vs %s\n", s.Parameter)
+	fmt.Fprintf(&b, "%14s %12s %12s %8s\n", s.Parameter, "flow avg[%]", "perf avg[%]", "n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%14.4g %12.3f %12.3f %8d\n", p.Parameter, p.FlowAvg, p.PerfAvg, p.N)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ooc/internal/core"
+	"ooc/internal/sim"
+	"ooc/internal/usecases"
+)
+
+func sampleReports(t *testing.T) []*sim.Report {
+	t.Helper()
+	in := usecases.Fig4Instance()
+	d, err := core.Generate(in.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Validate(d, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*sim.Report{rep}
+}
+
+func TestAggregate(t *testing.T) {
+	reps := sampleReports(t)
+	row := Aggregate("male_simple", 3, reps, 0)
+	if row.Chip != "male_simple" || row.Modules != 3 || row.Instances != 1 {
+		t.Fatalf("row header: %+v", row)
+	}
+	if row.FlowAvg < 0 || row.FlowMax < row.FlowAvg {
+		t.Fatalf("flow stats inconsistent: avg %g max %g", row.FlowAvg, row.FlowMax)
+	}
+	if row.PerfMax < row.PerfAvg {
+		t.Fatalf("perf stats inconsistent: avg %g max %g", row.PerfAvg, row.PerfMax)
+	}
+	// Deviations should be percent-scale, not fraction-scale.
+	if row.FlowMax > 0 && row.FlowMax < 1e-4 {
+		t.Fatalf("FlowMax %g looks like a fraction, want percent", row.FlowMax)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	row := Aggregate("empty", 3, nil, 5)
+	if row.Failures != 5 || row.PerfAvg != 0 || row.FlowMax != 0 {
+		t.Fatalf("empty aggregate: %+v", row)
+	}
+}
+
+func TestTableSortAndFormat(t *testing.T) {
+	tbl := Table{Rows: []Row{
+		{Chip: "generic2", Modules: 6},
+		{Chip: "male_simple", Modules: 3},
+		{Chip: "zcustom", Modules: 2},
+		{Chip: "male_kidney", Modules: 4},
+	}}
+	tbl.Sort()
+	order := []string{"male_simple", "male_kidney", "generic2", "zcustom"}
+	for i, want := range order {
+		if tbl.Rows[i].Chip != want {
+			t.Fatalf("row %d = %s, want %s", i, tbl.Rows[i].Chip, want)
+		}
+	}
+	out := tbl.Format()
+	for _, want := range []string{"Chip", "Modules", "perfusion", "flow rate", "male_simple"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := Table{Rows: []Row{{Chip: "male_simple", Modules: 3, Instances: 27,
+		PerfAvg: 0.98, PerfMax: 3.60, FlowAvg: 1.15, FlowMax: 3.38}}}
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "chip,modules") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "male_simple,3,27,0,0.9800,3.6000,1.1500,3.3800") {
+		t.Fatalf("csv row: %s", lines[1])
+	}
+}
+
+func TestFormatFig4(t *testing.T) {
+	reps := sampleReports(t)
+	out := FormatFig4(reps[0])
+	for _, want := range []string{"Fig. 4", "male_simple", "lung", "liver", "brain", "pump pressure"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig. 4 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAggregateSeries(t *testing.T) {
+	reps := sampleReports(t)
+	// Duplicate the report under two parameter keys.
+	keys := []float64{1e-3, 1e-3, 0.5e-3}
+	rr := []*sim.Report{reps[0], reps[0], reps[0]}
+	s, err := AggregateSeries("spacing [m]", keys, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points: %d", len(s.Points))
+	}
+	if s.Points[0].Parameter != 0.5e-3 || s.Points[1].Parameter != 1e-3 {
+		t.Fatal("points not sorted by parameter")
+	}
+	if s.Points[1].N != 2*len(reps[0].Modules) {
+		t.Fatalf("aggregation count %d", s.Points[1].N)
+	}
+	out := FormatSeries(s)
+	if !strings.Contains(out, "spacing [m]") || !strings.Contains(out, "flow avg") {
+		t.Fatalf("series format: %s", out)
+	}
+	if _, err := AggregateSeries("x", []float64{1}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package review runs an engineering design review on a generated OoC:
+// a battery of physical and biological checks that a chip must pass
+// before fabrication. It aggregates the designer's own invariants
+// (Kirchhoff consistency, design rules) with operating-regime checks
+// (laminarity, entrance lengths, shear window, oxygen supply, pump
+// pressure) into a single report — the checklist a human designer
+// would walk through manually before the paper's method existed.
+package review
+
+import (
+	"fmt"
+
+	"ooc/internal/core"
+	"ooc/internal/fluid"
+	"ooc/internal/sim"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Info findings are advisory.
+	Info Severity = iota
+	// Warning findings deserve attention but do not invalidate the
+	// design.
+	Warning
+	// Error findings mean the chip should not be fabricated as is.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "INFO"
+	case Warning:
+		return "WARNING"
+	case Error:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Finding is one review observation.
+type Finding struct {
+	Check    string
+	Severity Severity
+	Subject  string // module or channel name, "" for chip-level
+	Message  string
+}
+
+// String implements fmt.Stringer.
+func (f Finding) String() string {
+	if f.Subject != "" {
+		return fmt.Sprintf("[%s] %s (%s): %s", f.Severity, f.Check, f.Subject, f.Message)
+	}
+	return fmt.Sprintf("[%s] %s: %s", f.Severity, f.Check, f.Message)
+}
+
+// Review is a completed design review.
+type Review struct {
+	Findings []Finding
+}
+
+// OK reports whether the review found no errors.
+func (r *Review) OK() bool {
+	for _, f := range r.Findings {
+		if f.Severity == Error {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of findings at the given severity.
+func (r *Review) Count(s Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Review) add(check string, sev Severity, subject, format string, args ...interface{}) {
+	r.Findings = append(r.Findings, Finding{
+		Check:    check,
+		Severity: sev,
+		Subject:  subject,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Operating thresholds.
+const (
+	// maxLaminarRe is the hard laminarity limit; OoC chips run far
+	// below the Re ≈ 2000 transition, so exceeding even 100 deserves a
+	// warning.
+	warnRe        = 100.0
+	maxLaminarRe  = 1500.0
+	maxPumpKPa    = 50.0 // typical syringe-pump comfort zone
+	entranceFrac  = 0.10 // entrance region above 10 % of a channel length degrades the model
+	oxygenSafety  = 10.0 // demand × safety must stay below supply
+	maxChipWidth  = 75e-3
+	maxChipHeight = 50e-3
+)
+
+// Oxygen transport constants: air-saturated culture medium carries
+// ≈0.2 mol/m³ dissolved O₂; dense tissue consumes ≈0.08 mol/(m³·s)
+// (hepatocyte-scale rates at physiological cell density).
+const (
+	mediumOxygen    = 0.2  // mol/m³
+	tissueOxygenUse = 0.08 // mol/(m³·s)
+)
+
+// Check reviews a generated design. The validation report is computed
+// internally (exact model, all losses).
+func Check(d *core.Design) (*Review, error) {
+	if d == nil || len(d.Channels) == 0 {
+		return nil, fmt.Errorf("review: empty design")
+	}
+	r := &Review{}
+	med := d.Resolved.Spec.Fluid
+
+	// 1. Designer invariants.
+	if res := d.KVLResidual(); res > 1e-6 {
+		r.add("kirchhoff-voltage", Error, "", "KVL residual %.2e exceeds 1e-6 — pressure correction incomplete", res)
+	} else {
+		r.add("kirchhoff-voltage", Info, "", "all pressure cycles balanced (residual %.1e)", res)
+	}
+	if viol := d.DesignRuleCheck(); len(viol) > 0 {
+		for _, v := range viol {
+			r.add("design-rules", Error, v.A, "%s", v.String())
+		}
+	} else {
+		r.add("design-rules", Info, "", "minimum spacing %v respected by all channel pairs",
+			d.Resolved.Geometry.Spacing)
+	}
+	if kcl := d.Plan.CheckKCL(); kcl > 1e-9 {
+		r.add("kirchhoff-current", Error, "", "flow plan KCL residual %.2e", kcl)
+	}
+
+	// 2. Validation-derived checks (shear window).
+	rep, err := sim.Validate(d, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("review: %w", err)
+	}
+	for _, m := range rep.Modules {
+		tau := m.ActualShear
+		if err := fluid.CheckEndothelialShear(tau); err != nil {
+			r.add("shear-window", Warning, m.Name,
+				"achieved shear %.2f Pa leaves the 1–2 Pa endothelial window", tau.Pascals())
+		}
+	}
+	if rep.MaxFlowDeviation > 0.10 {
+		r.add("flow-deviation", Warning, "",
+			"worst module flow deviation %.1f%% — resimulate before fabrication (the paper recommends simulating every design)",
+			rep.MaxFlowDeviation*100)
+	} else {
+		r.add("flow-deviation", Info, "", "worst module flow deviation %.2f%%", rep.MaxFlowDeviation*100)
+	}
+
+	// 3. Operating regime per channel.
+	for _, c := range d.Channels {
+		re := fluid.Reynolds(c.DesignFlow, c.Cross, med)
+		switch {
+		case re > maxLaminarRe:
+			r.add("laminarity", Error, c.Name, "Re = %.0f approaches transition", re)
+		case re > warnRe:
+			r.add("laminarity", Warning, c.Name, "Re = %.0f unusually high for an OoC", re)
+		}
+		le := fluid.EntranceLength(c.DesignFlow, c.Cross, med)
+		if float64(le) > entranceFrac*float64(c.Length) {
+			r.add("entrance-length", Warning, c.Name,
+				"entrance region %v is %.0f%% of the channel — fully developed resistance model degraded",
+				le, 100*float64(le)/float64(c.Length))
+		}
+	}
+
+	// 4. Oxygen supply per module.
+	for _, m := range d.Modules {
+		supply := float64(m.FlowRate) * mediumOxygen
+		demand := float64(m.Volume) * tissueOxygenUse
+		switch {
+		case supply < demand:
+			r.add("oxygen-supply", Error, m.Name,
+				"O₂ supply %.2e mol/s below demand %.2e — necrotic core risk", supply, demand)
+		case supply < oxygenSafety*demand:
+			r.add("oxygen-supply", Warning, m.Name,
+				"O₂ supply margin only %.1f× demand", supply/demand)
+		}
+	}
+
+	// 5. Vascularization limits.
+	for _, m := range d.Modules {
+		if m.Kind == core.Round && m.Radius > core.MaxSpheroidRadius {
+			r.add("vascularization", Error, m.Name,
+				"spheroid radius %v exceeds %v", m.Radius, core.MaxSpheroidRadius)
+		}
+		if m.Kind == core.Layered && m.TissueHeight > core.MaxLayerHeight {
+			r.add("vascularization", Error, m.Name,
+				"tissue height %v exceeds %v", m.TissueHeight, core.MaxLayerHeight)
+		}
+	}
+
+	// 6. Pump pressure and chip footprint.
+	if kpa := rep.PumpPressure.Kilopascals(); kpa > maxPumpKPa {
+		r.add("pump-pressure", Warning, "", "inlet pump must sustain %.1f kPa", kpa)
+	} else {
+		r.add("pump-pressure", Info, "", "inlet pump pressure %.2f kPa", rep.PumpPressure.Kilopascals())
+	}
+	if d.Bounds.Width() > maxChipWidth || d.Bounds.Height() > maxChipHeight {
+		r.add("footprint", Warning, "",
+			"chip %.0f × %.0f mm exceeds a standard 75 × 50 mm slide",
+			d.Bounds.Width()*1e3, d.Bounds.Height()*1e3)
+	} else {
+		r.add("footprint", Info, "", "chip %.1f × %.1f mm fits a standard slide",
+			d.Bounds.Width()*1e3, d.Bounds.Height()*1e3)
+	}
+
+	// 7. Perfusion sanity.
+	for _, m := range d.Modules {
+		if m.Perfusion <= 0 || m.Perfusion >= 1 {
+			r.add("perfusion", Error, m.Name, "perfusion %.3f outside (0, 1)", m.Perfusion)
+		}
+	}
+	return r, nil
+}

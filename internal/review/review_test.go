@@ -1,0 +1,205 @@
+package review
+
+import (
+	"strings"
+	"testing"
+
+	"ooc/internal/core"
+	"ooc/internal/fluid"
+	"ooc/internal/physio"
+	"ooc/internal/units"
+)
+
+func goodDesign(t *testing.T) *core.Design {
+	t.Helper()
+	spec := core.Spec{
+		Name:         "review_test",
+		Reference:    physio.StandardMale(),
+		OrganismMass: units.Kilograms(1e-6),
+		Modules: []core.ModuleSpec{
+			{Organ: physio.Lung, Kind: core.Layered},
+			{Organ: physio.Liver, Kind: core.Layered},
+			{Organ: physio.Brain, Kind: core.Layered},
+		},
+		Fluid:       fluid.MediumLowViscosity,
+		ShearStress: 1.5,
+	}
+	d, err := core.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeneratedDesignPassesReview(t *testing.T) {
+	d := goodDesign(t)
+	r, err := Check(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		for _, f := range r.Findings {
+			if f.Severity == Error {
+				t.Errorf("unexpected error finding: %s", f)
+			}
+		}
+		t.Fatal("automatically generated design must pass its own review")
+	}
+	// The review must include the positive confirmations.
+	var checks []string
+	for _, f := range r.Findings {
+		checks = append(checks, f.Check)
+	}
+	joined := strings.Join(checks, ",")
+	for _, want := range []string{"kirchhoff-voltage", "design-rules", "flow-deviation", "pump-pressure", "footprint"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("review missing check %q", want)
+		}
+	}
+}
+
+func TestReviewCatchesCorruptedDesign(t *testing.T) {
+	d := goodDesign(t)
+	// Corrupt a channel's pressure drop to break KVL.
+	for i := range d.Channels {
+		if d.Channels[i].Kind == core.SupplyChannel {
+			d.Channels[i].DesignPressureDrop *= 2
+			break
+		}
+	}
+	r, err := Check(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatal("corrupted KVL not detected")
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "kirchhoff-voltage" && f.Severity == Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("KVL error finding missing")
+	}
+}
+
+func TestReviewCatchesBadPerfusion(t *testing.T) {
+	d := goodDesign(t)
+	d.Modules[0].Perfusion = 1.5
+	r, err := Check(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatal("bad perfusion not detected")
+	}
+}
+
+func TestReviewCatchesOxygenStarvation(t *testing.T) {
+	d := goodDesign(t)
+	// A module with an absurdly large tissue volume starves.
+	d.Modules[1].Volume = units.CubicMetres(1e-6)
+	r, err := Check(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "oxygen-supply" && f.Severity == Error && f.Subject == "liver" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("oxygen starvation not detected")
+	}
+}
+
+func TestReviewCatchesVascularizationViolation(t *testing.T) {
+	d := goodDesign(t)
+	d.Modules[2].Kind = core.Round
+	d.Modules[2].Radius = units.Micrometres(400)
+	r, err := Check(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "vascularization" && f.Severity == Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("oversized spheroid not detected")
+	}
+}
+
+func TestReviewEmptyDesign(t *testing.T) {
+	if _, err := Check(nil); err == nil {
+		t.Fatal("nil design accepted")
+	}
+}
+
+func TestSeverityAndFindingStrings(t *testing.T) {
+	if Info.String() != "INFO" || Warning.String() != "WARNING" || Error.String() != "ERROR" {
+		t.Fatal("severity strings")
+	}
+	f := Finding{Check: "x", Severity: Warning, Subject: "liver", Message: "m"}
+	if !strings.Contains(f.String(), "liver") || !strings.Contains(f.String(), "WARNING") {
+		t.Fatalf("finding string %q", f.String())
+	}
+	f.Subject = ""
+	if strings.Contains(f.String(), "()") {
+		t.Fatalf("empty subject rendered: %q", f.String())
+	}
+}
+
+func TestCount(t *testing.T) {
+	r := &Review{Findings: []Finding{
+		{Severity: Info}, {Severity: Warning}, {Severity: Warning}, {Severity: Error},
+	}}
+	if r.Count(Info) != 1 || r.Count(Warning) != 2 || r.Count(Error) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if r.OK() {
+		t.Fatal("review with errors reported OK")
+	}
+}
+
+// TestAllUseCaseDesignsPassReview: every paper use case generates a
+// review-clean chip at the default operating point.
+func TestAllUseCaseDesignsPassReview(t *testing.T) {
+	organs := [][]physio.OrganID{
+		{physio.Lung, physio.Liver, physio.Brain},
+		{physio.GITract, physio.Liver, physio.Brain},
+		{physio.Lung, physio.Liver, physio.Kidney, physio.Brain},
+	}
+	for _, set := range organs {
+		spec := core.Spec{
+			Name:         "case",
+			Reference:    physio.StandardMale(),
+			OrganismMass: units.Kilograms(1e-6),
+			Fluid:        fluid.MediumLowViscosity,
+			ShearStress:  1.5,
+		}
+		for _, o := range set {
+			spec.Modules = append(spec.Modules, core.ModuleSpec{Organ: o, Kind: core.Layered})
+		}
+		d, err := core.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Check(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK() {
+			for _, f := range r.Findings {
+				if f.Severity == Error {
+					t.Errorf("%v: %s", set, f)
+				}
+			}
+		}
+	}
+}

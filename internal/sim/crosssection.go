@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+
+	"ooc/internal/fluid"
+	"ooc/internal/linalg"
+	"ooc/internal/units"
+)
+
+// NumericResistance computes the hydraulic resistance of a straight
+// rectangular channel by solving the fully developed laminar duct-flow
+// problem numerically — a 2D Poisson equation on the cross-section:
+//
+//	∂²w/∂y² + ∂²w/∂z² = −G/µ,   w = 0 on the walls,
+//
+// where w is the axial velocity and G = ΔP/L the pressure gradient.
+// Integrating w over the cross-section yields Q and hence
+// R = ΔP/Q = µ·L / ∫∫ u dA for the normalized problem ∇²u = −1.
+//
+// This is the "CFD-lite" leg of the validation pipeline: an
+// independent numerical solution of the same physics OpenFOAM resolves
+// for straight channels, used to validate both analytic resistance
+// models (see the package tests, which reproduce the paper's
+// observation that Eq. 6 is only an approximation).
+//
+// n sets the grid resolution across the channel height (the width gets
+// proportionally more cells); n ≥ 8 required.
+func NumericResistance(cs fluid.CrossSection, length units.Length, mu units.Viscosity, n int) (units.HydraulicResistance, error) {
+	if err := cs.Validate(); err != nil {
+		return 0, err
+	}
+	if length <= 0 || mu <= 0 {
+		return 0, fmt.Errorf("sim: non-positive length or viscosity")
+	}
+	if n < 8 {
+		return 0, fmt.Errorf("sim: grid resolution %d too coarse (need ≥ 8)", n)
+	}
+	w := float64(cs.Width)
+	h := float64(cs.Height)
+	ny := n + 1
+	nx := int(float64(n)*w/h) + 1
+	if nx < 9 {
+		nx = 9
+	}
+	// Cap the aspect-driven growth to keep the solve tractable for very
+	// wide channels; accuracy there is dominated by the parallel-plate
+	// limit anyway.
+	if nx > 4097 {
+		nx = 4097
+	}
+	hx := w / float64(nx-1)
+	hy := h / float64(ny-1)
+
+	g := linalg.NewGrid2D(nx, ny)
+	f := make([]float64, nx*ny)
+	for i := range f {
+		f[i] = 1 // normalized source: ∇²u = −1
+	}
+	if _, err := linalg.SolvePoissonSOR(g, f, hx, hy, linalg.SORPoissonOptions{Tol: 1e-11}); err != nil {
+		return 0, fmt.Errorf("sim: cross-section solve: %w", err)
+	}
+
+	// Integrate u over the section (u vanishes on the boundary, so the
+	// interior trapezoid sum is just the node sum times the cell area).
+	var sum float64
+	for j := 1; j < ny-1; j++ {
+		for i := 1; i < nx-1; i++ {
+			sum += g.At(i, j)
+		}
+	}
+	integral := sum * hx * hy
+	if integral <= 0 {
+		return 0, fmt.Errorf("sim: degenerate cross-section integral")
+	}
+	return units.HydraulicResistance(float64(mu) * float64(length) / integral), nil
+}

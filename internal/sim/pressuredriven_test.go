@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestDesignPumpPressures(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	set, err := DesignPumpPressures(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Inlet <= 0 {
+		t.Fatalf("inlet set pressure %v must be positive", set.Inlet)
+	}
+	// OoC operating pressures are kilopascal-scale at most.
+	if set.Inlet.Pascals() > 1e5 {
+		t.Fatalf("inlet set pressure %v implausible", set.Inlet)
+	}
+	// The recirculation pump must push the connection inlet above the
+	// outlet junction.
+	if set.Recirculation <= 0 {
+		t.Fatalf("recirculation set pressure %v must be positive", set.Recirculation)
+	}
+}
+
+// TestPressureDrivenSelfConsistency: under the designer's own model,
+// pressure-driven operation at the designer set pressures reproduces
+// the planned flows exactly (the two pump modes are duals).
+func TestPressureDrivenSelfConsistency(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	rep, err := ValidatePressureDriven(d, Options{
+		Model:                 ModelApprox,
+		DisableBendLosses:     true,
+		DisableJunctionLosses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxFlowDeviation > 1e-6 {
+		t.Fatalf("pressure-driven self-consistency broken: %g", rep.MaxFlowDeviation)
+	}
+	if rep.KCLResidual.CubicMetresPerSecond() > 1e-18 {
+		t.Fatalf("KCL residual %g", rep.KCLResidual.CubicMetresPerSecond())
+	}
+}
+
+// TestPressureDrivenDriftsMore: under the exact model, pressure-driven
+// operation deviates at least as much as flow-driven operation — flow
+// sources pin the total flows, pressure sources let them drift with
+// the resistance error.
+func TestPressureDrivenDriftsMore(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	flowDriven, err := Validate(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pressureDriven, err := ValidatePressureDriven(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pressureDriven.MaxFlowDeviation < flowDriven.MaxFlowDeviation*0.9 {
+		t.Fatalf("pressure-driven (%.3f%%) should not beat flow-driven (%.3f%%)",
+			pressureDriven.MaxFlowDeviation*100, flowDriven.MaxFlowDeviation*100)
+	}
+	// Still a working chip: deviations bounded.
+	if pressureDriven.MaxFlowDeviation > 0.25 {
+		t.Fatalf("pressure-driven deviation %.1f%% implausible", pressureDriven.MaxFlowDeviation*100)
+	}
+}
+
+func TestPressureDrivenEmptyDesign(t *testing.T) {
+	if _, err := ValidatePressureDriven(nil, Options{}); err == nil {
+		t.Fatal("nil design accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ooc/internal/core"
+	"ooc/internal/fluid"
+	"ooc/internal/units"
+)
+
+// ToleranceConfig sets up a Monte Carlo fabrication-tolerance study.
+// The paper accepts designs whose deviations stay "within the typical
+// tolerances applied in microfluidics" (citing Bao & Harrison [34]);
+// this analysis quantifies the converse question — how much of the
+// deviation budget fabrication itself consumes. Soft-lithography
+// channel dimensions typically vary by a few percent.
+type ToleranceConfig struct {
+	// WidthSigma and HeightSigma are relative standard deviations of
+	// the fabricated channel width and height (e.g. 0.02 for ±2 %).
+	WidthSigma, HeightSigma float64
+	// LengthSigma is the relative standard deviation of channel
+	// lengths (usually far smaller; masks are accurate).
+	LengthSigma float64
+	// Samples is the number of Monte Carlo fabrications. Zero selects
+	// 200.
+	Samples int
+	// Seed makes the study reproducible. Zero selects 1.
+	Seed int64
+	// Options configures the per-sample validation.
+	Options Options
+}
+
+// ToleranceReport summarizes the Monte Carlo study.
+type ToleranceReport struct {
+	Samples int
+	// Nominal is the validation of the unperturbed design.
+	Nominal *Report
+	// FlowDev and PerfDev summarize the distribution of the worst
+	// per-sample module deviations (fractions).
+	FlowDev, PerfDev DeviationStats
+	// YieldWithin reports the fraction of fabricated chips whose worst
+	// module-flow deviation stays within the given budget (fraction,
+	// e.g. 0.10 for 10 %).
+	YieldWithin map[string]float64
+}
+
+// DeviationStats holds distribution statistics of a deviation metric.
+type DeviationStats struct {
+	Mean, Std, Median, P95, Max float64
+}
+
+// ToleranceAnalysis fabricates the design Samples times with random
+// dimensional errors and validates each fabrication against the
+// original specification.
+func ToleranceAnalysis(d *core.Design, cfg ToleranceConfig) (*ToleranceReport, error) {
+	if d == nil || len(d.Channels) == 0 {
+		return nil, fmt.Errorf("sim: empty design")
+	}
+	if cfg.WidthSigma < 0 || cfg.HeightSigma < 0 || cfg.LengthSigma < 0 {
+		return nil, fmt.Errorf("sim: negative tolerance sigma")
+	}
+	if cfg.WidthSigma > 0.2 || cfg.HeightSigma > 0.2 || cfg.LengthSigma > 0.2 {
+		return nil, fmt.Errorf("sim: tolerance sigma above 20%% is outside the model's validity")
+	}
+	samples := cfg.Samples
+	if samples == 0 {
+		samples = 200
+	}
+	if samples < 1 || samples > 100000 {
+		return nil, fmt.Errorf("sim: sample count %d out of range", samples)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	nominal, err := Validate(d, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	flowDevs := make([]float64, 0, samples)
+	perfDevs := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		perturbed := perturbDesign(d, cfg, rng)
+		rep, err := Validate(perturbed, cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sample %d: %w", s, err)
+		}
+		flowDevs = append(flowDevs, rep.MaxFlowDeviation)
+		perfDevs = append(perfDevs, rep.MaxPerfDeviation)
+	}
+
+	rep := &ToleranceReport{
+		Samples: samples,
+		Nominal: nominal,
+		FlowDev: computeStats(flowDevs),
+		PerfDev: computeStats(perfDevs),
+		YieldWithin: map[string]float64{
+			"5%":  yield(flowDevs, 0.05),
+			"10%": yield(flowDevs, 0.10),
+			"20%": yield(flowDevs, 0.20),
+		},
+	}
+	return rep, nil
+}
+
+// perturbDesign returns a copy of the design with independently
+// perturbed channel dimensions. A sample's membrane shear targets and
+// flow plan (the specification) stay fixed — only the fabricated
+// geometry varies. Width and height are perturbed per channel
+// (lithography/molding variation); a single global height factor is
+// added on top because channel height is set by one resist layer for
+// the whole chip.
+func perturbDesign(d *core.Design, cfg ToleranceConfig, rng *rand.Rand) *core.Design {
+	clone := *d
+	clone.Channels = make([]core.Channel, len(d.Channels))
+	copy(clone.Channels, d.Channels)
+
+	globalHeight := 1 + cfg.HeightSigma/2*rng.NormFloat64()
+	for i := range clone.Channels {
+		c := &clone.Channels[i]
+		wf := 1 + cfg.WidthSigma*rng.NormFloat64()
+		hf := globalHeight * (1 + cfg.HeightSigma/2*rng.NormFloat64())
+		lf := 1 + cfg.LengthSigma*rng.NormFloat64()
+		// Clamp to ±4σ-ish to keep cross-sections valid under extreme
+		// draws.
+		wf = clampFactor(wf)
+		hf = clampFactor(hf)
+		lf = clampFactor(lf)
+		c.Cross = fluid.CrossSection{
+			Width:  units.Length(float64(c.Cross.Width) * wf),
+			Height: units.Length(float64(c.Cross.Height) * hf),
+		}
+		if c.Cross.Height > c.Cross.Width {
+			c.Cross.Height = c.Cross.Width
+		}
+		c.Length = units.Length(float64(c.Length) * lf)
+	}
+	return &clone
+}
+
+func clampFactor(f float64) float64 {
+	return math.Min(1.5, math.Max(0.5, f))
+}
+
+func computeStats(v []float64) DeviationStats {
+	if len(v) == 0 {
+		return DeviationStats{}
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	for _, x := range sorted {
+		sq += (x - mean) * (x - mean)
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(sq / float64(len(sorted)-1))
+	}
+	return DeviationStats{
+		Mean:   mean,
+		Std:    std,
+		Median: quantile(sorted, 0.5),
+		P95:    quantile(sorted, 0.95),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func yield(devs []float64, budget float64) float64 {
+	if len(devs) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, d := range devs {
+		if d <= budget {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(devs))
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestToleranceAnalysisBasics(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	rep, err := ToleranceAnalysis(d, ToleranceConfig{
+		WidthSigma:  0.02,
+		HeightSigma: 0.02,
+		LengthSigma: 0.002,
+		Samples:     50,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 50 {
+		t.Fatalf("samples %d", rep.Samples)
+	}
+	// Fabrication noise must add deviation beyond the nominal model gap.
+	if rep.FlowDev.Mean <= rep.Nominal.MaxFlowDeviation {
+		t.Fatalf("tolerance mean %.4f should exceed nominal %.4f",
+			rep.FlowDev.Mean, rep.Nominal.MaxFlowDeviation)
+	}
+	// Statistics must be ordered.
+	if rep.FlowDev.Median > rep.FlowDev.P95 || rep.FlowDev.P95 > rep.FlowDev.Max {
+		t.Fatalf("stats not ordered: %+v", rep.FlowDev)
+	}
+	if rep.PerfDev.Max <= 0 {
+		t.Fatal("perfusion deviations missing")
+	}
+	// At 2 % dimensional tolerance the yield at a 20 % deviation budget
+	// must be essentially full.
+	if rep.YieldWithin["20%"] < 0.95 {
+		t.Fatalf("yield at 20%% budget: %.2f", rep.YieldWithin["20%"])
+	}
+	if rep.YieldWithin["5%"] > rep.YieldWithin["10%"] ||
+		rep.YieldWithin["10%"] > rep.YieldWithin["20%"] {
+		t.Fatal("yields must be monotone in the budget")
+	}
+}
+
+func TestToleranceDeterministicSeed(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	cfg := ToleranceConfig{WidthSigma: 0.02, HeightSigma: 0.02, Samples: 20, Seed: 3}
+	a, err := ToleranceAnalysis(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ToleranceAnalysis(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlowDev != b.FlowDev || a.PerfDev != b.PerfDev {
+		t.Fatal("same seed must reproduce identical statistics")
+	}
+}
+
+func TestToleranceGrowsWithSigma(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	loose, err := ToleranceAnalysis(d, ToleranceConfig{
+		WidthSigma: 0.05, HeightSigma: 0.05, Samples: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := ToleranceAnalysis(d, ToleranceConfig{
+		WidthSigma: 0.01, HeightSigma: 0.01, Samples: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.FlowDev.Mean <= tight.FlowDev.Mean {
+		t.Fatalf("looser tolerances should hurt more: %.4f vs %.4f",
+			loose.FlowDev.Mean, tight.FlowDev.Mean)
+	}
+}
+
+func TestToleranceHeightDominates(t *testing.T) {
+	// Resistance goes like h⁻³: height tolerance must matter much more
+	// than length tolerance of the same magnitude.
+	d := mustDesign(t, maleSimpleSpec())
+	height, err := ToleranceAnalysis(d, ToleranceConfig{HeightSigma: 0.03, Samples: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	length, err := ToleranceAnalysis(d, ToleranceConfig{LengthSigma: 0.03, Samples: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if height.FlowDev.Mean <= length.FlowDev.Mean {
+		t.Fatalf("height tolerance (%.4f) should dominate length tolerance (%.4f)",
+			height.FlowDev.Mean, length.FlowDev.Mean)
+	}
+}
+
+func TestToleranceValidation(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	if _, err := ToleranceAnalysis(nil, ToleranceConfig{}); err == nil {
+		t.Error("nil design accepted")
+	}
+	if _, err := ToleranceAnalysis(d, ToleranceConfig{WidthSigma: -0.1}); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := ToleranceAnalysis(d, ToleranceConfig{WidthSigma: 0.5}); err == nil {
+		t.Error("absurd sigma accepted")
+	}
+	if _, err := ToleranceAnalysis(d, ToleranceConfig{Samples: -2}); err == nil {
+		t.Error("negative sample count accepted")
+	}
+}
+
+func TestQuantileAndYieldHelpers(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if q := quantile(sorted, 0.5); q != 3 {
+		t.Fatalf("median %g", q)
+	}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Fatalf("q0 %g", q)
+	}
+	if q := quantile(sorted, 1); q != 5 {
+		t.Fatalf("q1 %g", q)
+	}
+	if q := quantile(sorted, 0.25); q != 2 {
+		t.Fatalf("q25 %g", q)
+	}
+	if y := yield([]float64{0.01, 0.02, 0.3}, 0.05); y < 0.66 || y > 0.67 {
+		t.Fatalf("yield %g", y)
+	}
+	if yield(nil, 1) != 0 {
+		t.Fatal("empty yield")
+	}
+	if (computeStats(nil) != DeviationStats{}) {
+		t.Fatal("empty stats")
+	}
+}

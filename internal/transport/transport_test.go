@@ -1,0 +1,428 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"ooc/internal/core"
+	"ooc/internal/fluid"
+	"ooc/internal/physio"
+	"ooc/internal/units"
+)
+
+func testDesign(t *testing.T) *core.Design {
+	t.Helper()
+	spec := core.Spec{
+		Name:         "transport_test",
+		Reference:    physio.StandardMale(),
+		OrganismMass: units.Kilograms(1e-6),
+		Modules: []core.ModuleSpec{
+			{Organ: physio.Lung, Kind: core.Layered},
+			{Organ: physio.Liver, Kind: core.Layered},
+			{Organ: physio.Brain, Kind: core.Layered},
+		},
+		Fluid:       fluid.MediumLowViscosity,
+		ShearStress: 1.5,
+	}
+	d, err := core.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestContinuousInfusionReachesInletConcentration(t *testing.T) {
+	d := testDesign(t)
+	// With a constant inlet concentration, no clearance and enough
+	// time, every compartment approaches the inlet concentration.
+	res, err := Simulate(d, Config{
+		InletConcentration: 1.0,
+		Duration:           60, // many volume turnovers (turnover ≈ 1 s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Modules {
+		if math.Abs(m.Final-1.0) > 0.02 {
+			t.Fatalf("module %s final concentration %.3f, want ≈1.0", m.Name, m.Final)
+		}
+	}
+	if res.MassBalanceError > 1e-6 {
+		t.Fatalf("mass balance error %g", res.MassBalanceError)
+	}
+}
+
+func TestMassBalanceBolus(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{
+		Bolus:    1e-9, // mol
+		Duration: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MassBalanceError > 1e-6 {
+		t.Fatalf("mass balance error %g", res.MassBalanceError)
+	}
+	// All modules must have been exposed.
+	for _, m := range res.Modules {
+		if m.Peak <= 0 {
+			t.Fatalf("module %s never saw the bolus", m.Name)
+		}
+		if m.AUC <= 0 {
+			t.Fatalf("module %s has zero AUC", m.Name)
+		}
+	}
+	// Eventually the bolus washes out through the outlet.
+	if res.OutletAUC <= 0 {
+		t.Fatal("no compound recovered at the outlet")
+	}
+}
+
+// TestPerfusionOrdersExposure: for a cytokine continuously secreted by
+// the liver, a downstream module's steady concentration scales with
+// its perfusion factor (its module inflow is perf·Q of cytokine-laden
+// connection fluid plus fresh supply) — the physiological property the
+// perfusion factors encode (Eq. 4). Brain (perf 0.268, directly
+// downstream of the liver) must see far more than the lung
+// (perf 0.040, fed from the recirculated drain fraction).
+func TestPerfusionOrdersExposure(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{
+		Duration: 60,
+		Kinetics: map[string]ModuleKinetics{"liver": {Secretion: 1e-12}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ModuleExposure{}
+	for _, m := range res.Modules {
+		byName[m.Name] = m
+	}
+	if byName["brain"].Final <= byName["lung"].Final {
+		t.Fatalf("brain steady exposure %g should exceed lung %g (perfusion ordering)",
+			byName["brain"].Final, byName["lung"].Final)
+	}
+	if byName["lung"].Final <= 0 {
+		t.Fatal("lung should still receive recirculated cytokine")
+	}
+}
+
+// TestClearanceReducesDownstreamExposure: hepatic clearance lowers
+// everyone's steady-state exposure vs. the inert case.
+func TestClearanceReducesDownstreamExposure(t *testing.T) {
+	d := testDesign(t)
+	inert, err := Simulate(d, Config{InletConcentration: 1, Duration: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleared, err := Simulate(d, Config{
+		InletConcentration: 1,
+		Duration:           60,
+		Kinetics: map[string]ModuleKinetics{
+			"liver": {Clearance: 0.5}, // strong hepatic extraction
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inert.Modules {
+		if cleared.Modules[i].Name == "lung" {
+			continue // upstream of the liver; nearly unaffected
+		}
+		if cleared.Modules[i].Final >= inert.Modules[i].Final {
+			t.Fatalf("module %s: clearance did not reduce exposure (%.3f vs %.3f)",
+				cleared.Modules[i].Name, cleared.Modules[i].Final, inert.Modules[i].Final)
+		}
+	}
+	if cleared.MassBalanceError > 1e-6 {
+		t.Fatalf("mass balance with clearance: %g", cleared.MassBalanceError)
+	}
+}
+
+// TestSecretionPropagates: a cytokine secreted by the liver reaches
+// the other modules through the circulating fluid — the inter-organ
+// communication the chip exists to provide.
+func TestSecretionPropagates(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{
+		Duration: 60,
+		Kinetics: map[string]ModuleKinetics{
+			"liver": {Secretion: 1e-12},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Modules {
+		if m.Final <= 0 {
+			t.Fatalf("module %s never received the secreted cytokine", m.Name)
+		}
+	}
+	if res.MassBalanceError > 1e-6 {
+		t.Fatalf("mass balance with secretion: %g", res.MassBalanceError)
+	}
+}
+
+func TestCirculatingVolumePlausible(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{InletConcentration: 1, Duration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The network volume must be microlitre-scale (chip channels).
+	vol := res.CirculatingVolume
+	if vol < 1e-10 || vol > 1e-6 {
+		t.Fatalf("circulating volume %g m³ implausible", vol)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	d := testDesign(t)
+	if _, err := Simulate(nil, Config{Duration: 1}); err == nil {
+		t.Error("nil design accepted")
+	}
+	if _, err := Simulate(d, Config{}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Simulate(d, Config{Duration: 1, Bolus: -1}); err == nil {
+		t.Error("negative bolus accepted")
+	}
+	if _, err := Simulate(d, Config{Duration: 1, InletConcentration: -1}); err == nil {
+		t.Error("negative inlet concentration accepted")
+	}
+	if _, err := Simulate(d, Config{Duration: 1, CellsPerChannel: 100}); err == nil {
+		t.Error("oversized cell count accepted")
+	}
+}
+
+func TestSamplesRecorded(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{InletConcentration: 1, Duration: 10, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Modules {
+		if len(m.Samples) < 5 {
+			t.Fatalf("module %s: only %d samples", m.Name, len(m.Samples))
+		}
+		for i := 1; i < len(m.Samples); i++ {
+			if m.Samples[i].Time <= m.Samples[i-1].Time {
+				t.Fatal("samples not time-ordered")
+			}
+		}
+	}
+}
+
+// TestWashout: after a bolus with no further input, concentrations
+// decay towards zero (monotone washout through the outlet).
+func TestWashout(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{Bolus: 1e-9, Duration: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Modules {
+		if m.Final > m.Peak*0.2 {
+			t.Fatalf("module %s retained %.1f%% of peak after washout",
+				m.Name, 100*m.Final/m.Peak)
+		}
+	}
+}
+
+// TestMembraneResolvedModule: with a finite membrane permeability the
+// tissue lags the channel and, for small P·A, sees a lower peak — the
+// drug-absorption behaviour the membrane exists to model.
+func TestMembraneResolvedModule(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{
+		Bolus:    1e-9,
+		Duration: 60,
+		Kinetics: map[string]ModuleKinetics{
+			"liver": {MembranePermeability: 1e-6}, // slow membrane
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var liver ModuleExposure
+	for _, m := range res.Modules {
+		if m.Name == "liver" {
+			liver = m
+		}
+	}
+	if liver.TissuePeak <= 0 {
+		t.Fatal("tissue never exposed through the membrane")
+	}
+	if liver.TissuePeak >= liver.Peak {
+		t.Fatalf("slow membrane: tissue peak %g should lag channel peak %g",
+			liver.TissuePeak, liver.Peak)
+	}
+	if res.MassBalanceError > 1e-6 {
+		t.Fatalf("mass balance with membrane: %g", res.MassBalanceError)
+	}
+}
+
+// TestMembranePermeabilityOrdersTissueExposure: a more permeable
+// membrane admits more compound into the tissue.
+func TestMembranePermeabilityOrdersTissueExposure(t *testing.T) {
+	d := testDesign(t)
+	run := func(p float64) float64 {
+		res, err := Simulate(d, Config{
+			Bolus:    1e-9,
+			Duration: 30,
+			Kinetics: map[string]ModuleKinetics{"brain": {MembranePermeability: p}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range res.Modules {
+			if m.Name == "brain" {
+				return m.TissueAUC
+			}
+		}
+		t.Fatal("brain missing")
+		return 0
+	}
+	tight := run(1e-7) // blood-brain-barrier-like
+	leaky := run(1e-5)
+	if leaky <= tight {
+		t.Fatalf("leaky membrane AUC %g should exceed tight %g", leaky, tight)
+	}
+}
+
+// TestMembraneEquilibration: at high permeability and long times the
+// tissue equilibrates with the channel.
+func TestMembraneEquilibration(t *testing.T) {
+	d := testDesign(t)
+	res, err := Simulate(d, Config{
+		InletConcentration: 1,
+		Duration:           60,
+		Kinetics:           map[string]ModuleKinetics{"liver": {MembranePermeability: 1e-4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Modules {
+		if m.Name != "liver" {
+			continue
+		}
+		if math.Abs(m.TissueFinal-m.Final) > 0.05*m.Final {
+			t.Fatalf("tissue %.3f and channel %.3f should equilibrate", m.TissueFinal, m.Final)
+		}
+	}
+}
+
+// TestTissueClearanceBehindMembrane: with the membrane resolved,
+// clearance acts on the tissue side and is membrane-limited — lowering
+// permeability lowers the elimination rate seen by the system.
+func TestTissueClearanceBehindMembrane(t *testing.T) {
+	d := testDesign(t)
+	run := func(p float64) float64 {
+		res, err := Simulate(d, Config{
+			InletConcentration: 1,
+			Duration:           60,
+			Kinetics: map[string]ModuleKinetics{
+				"liver": {MembranePermeability: p, Clearance: 1},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Downstream exposure reflects how much the liver removed.
+		for _, m := range res.Modules {
+			if m.Name == "brain" {
+				return m.Final
+			}
+		}
+		return 0
+	}
+	limited := run(1e-7)
+	open := run(1e-4)
+	if open >= limited {
+		t.Fatalf("membrane-limited clearance: brain exposure %g (tight) should exceed %g (open)",
+			limited, open)
+	}
+}
+
+// TestDispersionSpreadsBolus: Taylor–Aris dispersion lowers and widens
+// the downstream peak while conserving mass.
+func TestDispersionSpreadsBolus(t *testing.T) {
+	d := testDesign(t)
+	sharp, err := Simulate(d, Config{Bolus: 1e-9, Duration: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Simulate(d, Config{
+		Bolus:                1e-9,
+		Duration:             30,
+		MolecularDiffusivity: 5e-10, // small molecule
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.MassBalanceError > 1e-6 {
+		t.Fatalf("mass balance with dispersion: %g", spread.MassBalanceError)
+	}
+	// The brain is farthest downstream via connections; its peak must
+	// be reduced by dispersion.
+	var sharpBrain, spreadBrain ModuleExposure
+	for i := range sharp.Modules {
+		if sharp.Modules[i].Name == "brain" {
+			sharpBrain = sharp.Modules[i]
+			spreadBrain = spread.Modules[i]
+		}
+	}
+	if spreadBrain.Peak >= sharpBrain.Peak {
+		t.Fatalf("dispersion should lower the downstream peak: %g vs %g",
+			spreadBrain.Peak, sharpBrain.Peak)
+	}
+}
+
+// TestPulsatilePerfusion: a heartbeat-like modulation keeps the same
+// time-averaged transport (same AUC scale) and conserves mass.
+func TestPulsatilePerfusion(t *testing.T) {
+	d := testDesign(t)
+	steady, err := Simulate(d, Config{InletConcentration: 1, Duration: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulsed, err := Simulate(d, Config{
+		InletConcentration: 1,
+		Duration:           30,
+		FlowModulation: func(t float64) float64 {
+			return 1 + 0.5*math.Sin(2*math.Pi*t) // 1 Hz pulse
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulsed.MassBalanceError > 1e-6 {
+		t.Fatalf("mass balance with pulsation: %g", pulsed.MassBalanceError)
+	}
+	for i := range steady.Modules {
+		s, p := steady.Modules[i], pulsed.Modules[i]
+		if math.Abs(p.Final-s.Final) > 0.1*s.Final {
+			t.Fatalf("module %s: pulsation changed steady exposure: %g vs %g",
+				s.Name, p.Final, s.Final)
+		}
+	}
+}
+
+func TestFlowModulationValidation(t *testing.T) {
+	d := testDesign(t)
+	if _, err := Simulate(d, Config{
+		Duration:           1,
+		InletConcentration: 1,
+		FlowModulation:     func(t float64) float64 { return -1 },
+	}); err == nil {
+		t.Fatal("negative modulation accepted")
+	}
+	if _, err := Simulate(d, Config{
+		Duration:           1,
+		InletConcentration: 1,
+		FlowModulation:     func(t float64) float64 { return 100 },
+	}); err == nil {
+		t.Fatal("unbounded modulation accepted")
+	}
+}

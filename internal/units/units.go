@@ -1,0 +1,152 @@
+// Package units provides typed SI quantities for the OoC designer.
+//
+// All quantities are stored in SI base units (metres, kilograms, seconds,
+// pascals, …) as float64. The distinct types prevent the classic
+// microfluidics bug of mixing µm, mm and m, or mL/min and m³/s, without
+// paying any runtime cost. Convenience constructors and accessors handle
+// the unit conversions that appear throughout the paper (µm, mm, mL/min,
+// dyn/cm², …).
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Length is a length in metres.
+type Length float64
+
+// Common length constructors.
+func Metres(v float64) Length      { return Length(v) }
+func Millimetres(v float64) Length { return Length(v * 1e-3) }
+func Micrometres(v float64) Length { return Length(v * 1e-6) }
+
+// Accessors.
+func (l Length) Metres() float64      { return float64(l) }
+func (l Length) Millimetres() float64 { return float64(l) * 1e3 }
+func (l Length) Micrometres() float64 { return float64(l) * 1e6 }
+
+// String formats the length with an auto-selected prefix.
+func (l Length) String() string {
+	a := math.Abs(float64(l))
+	switch {
+	case a == 0:
+		return "0 m"
+	case a < 1e-3:
+		return fmt.Sprintf("%.4g µm", l.Micrometres())
+	case a < 1:
+		return fmt.Sprintf("%.4g mm", l.Millimetres())
+	default:
+		return fmt.Sprintf("%.4g m", l.Metres())
+	}
+}
+
+// Area is an area in square metres.
+type Area float64
+
+func SquareMetres(v float64) Area         { return Area(v) }
+func (a Area) SquareMetres() float64      { return float64(a) }
+func (a Area) SquareMillimetres() float64 { return float64(a) * 1e6 }
+
+// Volume is a volume in cubic metres.
+type Volume float64
+
+func CubicMetres(v float64) Volume { return Volume(v) }
+func Millilitres(v float64) Volume { return Volume(v * 1e-6) }
+func Microlitres(v float64) Volume { return Volume(v * 1e-9) }
+
+func (v Volume) CubicMetres() float64 { return float64(v) }
+func (v Volume) Millilitres() float64 { return float64(v) * 1e6 }
+func (v Volume) Microlitres() float64 { return float64(v) * 1e9 }
+
+// Mass is a mass in kilograms.
+type Mass float64
+
+func Kilograms(v float64) Mass  { return Mass(v) }
+func Grams(v float64) Mass      { return Mass(v * 1e-3) }
+func Milligrams(v float64) Mass { return Mass(v * 1e-6) }
+
+func (m Mass) Kilograms() float64 { return float64(m) }
+func (m Mass) Grams() float64     { return float64(m) * 1e3 }
+
+// Pressure is a pressure in pascals.
+type Pressure float64
+
+func Pascals(v float64) Pressure     { return Pressure(v) }
+func Kilopascals(v float64) Pressure { return Pressure(v * 1e3) }
+func Millibars(v float64) Pressure   { return Pressure(v * 100) }
+
+func (p Pressure) Pascals() float64     { return float64(p) }
+func (p Pressure) Kilopascals() float64 { return float64(p) * 1e-3 }
+func (p Pressure) Millibars() float64   { return float64(p) / 100 }
+
+// ShearStress is a wall shear stress in pascals. It is kept distinct
+// from Pressure because the two are never interchangeable in the design
+// equations (Eq. 3 vs. Eq. 7).
+type ShearStress float64
+
+func PascalsShear(v float64) ShearStress { return ShearStress(v) }
+
+// DynPerCm2 constructs a shear stress from dyn/cm² (the unit common in
+// the endothelial-biology literature; 1 dyn/cm² = 0.1 Pa).
+func DynPerCm2(v float64) ShearStress { return ShearStress(v * 0.1) }
+
+func (s ShearStress) Pascals() float64   { return float64(s) }
+func (s ShearStress) DynPerCm2() float64 { return float64(s) * 10 }
+
+// FlowRate is a volumetric flow rate in m³/s.
+type FlowRate float64
+
+func CubicMetresPerSecond(v float64) FlowRate { return FlowRate(v) }
+func MillilitresPerMinute(v float64) FlowRate { return FlowRate(v * 1e-6 / 60) }
+func MicrolitresPerMinute(v float64) FlowRate { return FlowRate(v * 1e-9 / 60) }
+func MicrolitresPerHour(v float64) FlowRate   { return FlowRate(v * 1e-9 / 3600) }
+
+func (q FlowRate) CubicMetresPerSecond() float64 { return float64(q) }
+func (q FlowRate) MillilitresPerMinute() float64 { return float64(q) * 60 * 1e6 }
+func (q FlowRate) MicrolitresPerMinute() float64 { return float64(q) * 60 * 1e9 }
+
+// String formats the flow rate in µL/min, the natural scale for OoC.
+func (q FlowRate) String() string {
+	return fmt.Sprintf("%.4g µL/min", q.MicrolitresPerMinute())
+}
+
+// Viscosity is a dynamic viscosity in Pa·s.
+type Viscosity float64
+
+func PascalSeconds(v float64) Viscosity { return Viscosity(v) }
+func Centipoise(v float64) Viscosity    { return Viscosity(v * 1e-3) }
+
+func (mu Viscosity) PascalSeconds() float64 { return float64(mu) }
+func (mu Viscosity) Centipoise() float64    { return float64(mu) * 1e3 }
+
+// Density is a mass density in kg/m³.
+type Density float64
+
+func KilogramsPerCubicMetre(v float64) Density { return Density(v) }
+func GramsPerMillilitre(v float64) Density     { return Density(v * 1e3) }
+
+func (d Density) KilogramsPerCubicMetre() float64 { return float64(d) }
+
+// HydraulicResistance is a hydraulic resistance in Pa·s/m³
+// (pressure drop per unit flow rate, Eq. 7).
+type HydraulicResistance float64
+
+func PaSecondsPerCubicMetre(v float64) HydraulicResistance {
+	return HydraulicResistance(v)
+}
+
+func (r HydraulicResistance) PaSecondsPerCubicMetre() float64 { return float64(r) }
+
+// PressureDrop returns the pressure gradient ΔP = R·Q across a channel
+// with this resistance at flow rate q (Hagen–Poiseuille, Eq. 7).
+func (r HydraulicResistance) PressureDrop(q FlowRate) Pressure {
+	return Pressure(float64(r) * float64(q))
+}
+
+// Velocity is a linear velocity in m/s.
+type Velocity float64
+
+func MetresPerSecond(v float64) Velocity         { return Velocity(v) }
+func (v Velocity) MetresPerSecond() float64      { return float64(v) }
+func (v Velocity) MillimetresPerSecond() float64 { return float64(v) * 1e3 }

@@ -1,0 +1,198 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*den
+}
+
+func TestLengthConversions(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"mm->m", Millimetres(1).Metres(), 1e-3},
+		{"um->m", Micrometres(150).Metres(), 150e-6},
+		{"m->mm", Metres(0.5).Millimetres(), 500},
+		{"m->um", Metres(89e-6).Micrometres(), 89},
+	}
+	for _, c := range cases {
+		if !almostEqual(c.got, c.want, 1e-12) {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestLengthRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return almostEqual(Micrometres(v).Micrometres(), v, 1e-12) &&
+			almostEqual(Millimetres(v).Millimetres(), v, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowRateConversions(t *testing.T) {
+	// Liver blood flow in the paper: 1450 mL/min.
+	q := MillilitresPerMinute(1450)
+	want := 1450e-6 / 60.0
+	if !almostEqual(q.CubicMetresPerSecond(), want, 1e-12) {
+		t.Fatalf("1450 mL/min = %g m3/s, want %g", q.CubicMetresPerSecond(), want)
+	}
+	if !almostEqual(q.MillilitresPerMinute(), 1450, 1e-12) {
+		t.Fatalf("round trip failed: %g", q.MillilitresPerMinute())
+	}
+}
+
+func TestFlowRateRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return almostEqual(MillilitresPerMinute(v).MillilitresPerMinute(), v, 1e-12) &&
+			almostEqual(MicrolitresPerMinute(v).MicrolitresPerMinute(), v, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShearStressDynPerCm2(t *testing.T) {
+	// 15 dyn/cm² = 1.5 Pa — the paper's middle shear-stress value.
+	s := DynPerCm2(15)
+	if !almostEqual(s.Pascals(), 1.5, 1e-12) {
+		t.Fatalf("15 dyn/cm2 = %g Pa, want 1.5", s.Pascals())
+	}
+	if !almostEqual(s.DynPerCm2(), 15, 1e-12) {
+		t.Fatalf("round trip: %g", s.DynPerCm2())
+	}
+}
+
+func TestPressureConversions(t *testing.T) {
+	if !almostEqual(Kilopascals(1.2).Pascals(), 1200, 1e-12) {
+		t.Error("kPa conversion")
+	}
+	if !almostEqual(Millibars(10).Pascals(), 1000, 1e-12) {
+		t.Error("mbar conversion")
+	}
+	if !almostEqual(Pascals(250).Millibars(), 2.5, 1e-12) {
+		t.Error("Pa->mbar conversion")
+	}
+}
+
+func TestVolumeConversions(t *testing.T) {
+	if !almostEqual(Millilitres(5200).CubicMetres(), 5.2e-3, 1e-12) {
+		t.Error("blood volume 5200 mL should be 5.2e-3 m3")
+	}
+	if !almostEqual(Microlitres(1).CubicMetres(), 1e-9, 1e-12) {
+		t.Error("1 µL should be 1e-9 m3")
+	}
+}
+
+func TestMassConversions(t *testing.T) {
+	if !almostEqual(Grams(1000).Kilograms(), 1, 1e-12) {
+		t.Error("1000 g = 1 kg")
+	}
+	if !almostEqual(Kilograms(1.4286e-8).Grams(), 1.4286e-5, 1e-12) {
+		t.Error("liver module mass conversion")
+	}
+}
+
+func TestViscosityConversions(t *testing.T) {
+	// Culture media viscosities in the paper: 0.72–1.1 cP.
+	if !almostEqual(Centipoise(0.72).PascalSeconds(), 7.2e-4, 1e-12) {
+		t.Error("0.72 cP = 7.2e-4 Pa·s")
+	}
+	if !almostEqual(PascalSeconds(9.3e-4).Centipoise(), 0.93, 1e-12) {
+		t.Error("9.3e-4 Pa·s = 0.93 cP")
+	}
+}
+
+func TestHydraulicResistancePressureDrop(t *testing.T) {
+	r := PaSecondsPerCubicMetre(2e12)
+	q := CubicMetresPerSecond(7.8125e-9)
+	dp := r.PressureDrop(q)
+	if !almostEqual(dp.Pascals(), 2e12*7.8125e-9, 1e-12) {
+		t.Fatalf("ΔP = %g", dp.Pascals())
+	}
+}
+
+func TestLengthString(t *testing.T) {
+	cases := []struct {
+		l    Length
+		want string
+	}{
+		{Micrometres(89), "µm"},
+		{Millimetres(1.5), "mm"},
+		{Metres(2), "m"},
+		{Metres(0), "0 m"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String(%v) = %q, want to contain %q", float64(c.l), got, c.want)
+		}
+	}
+}
+
+func TestFlowRateString(t *testing.T) {
+	q := CubicMetresPerSecond(7.8125e-9)
+	s := q.String()
+	if !strings.Contains(s, "µL/min") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAreaAndVolumeAccessors(t *testing.T) {
+	a := SquareMetres(2e-6)
+	if a.SquareMillimetres() != 2 {
+		t.Fatalf("area mm²: %g", a.SquareMillimetres())
+	}
+	v := CubicMetres(1e-9)
+	if v.Microlitres() != 1 {
+		t.Fatalf("volume µL: %g", v.Microlitres())
+	}
+	if GramsPerMillilitre(1.06).KilogramsPerCubicMetre() != 1060 {
+		t.Fatal("density conversion")
+	}
+}
+
+func TestVelocityAccessors(t *testing.T) {
+	v := MetresPerSecond(0.052)
+	if math.Abs(v.MillimetresPerSecond()-52) > 1e-9 {
+		t.Fatalf("velocity mm/s: %g", v.MillimetresPerSecond())
+	}
+}
+
+func TestMicrolitresPerHour(t *testing.T) {
+	q := MicrolitresPerHour(3600)
+	if math.Abs(q.CubicMetresPerSecond()-1e-9) > 1e-21 {
+		t.Fatalf("µL/h conversion: %g", q.CubicMetresPerSecond())
+	}
+}
+
+func TestKilopascalsAccessor(t *testing.T) {
+	if Pascals(5860).Kilopascals() != 5.86 {
+		t.Fatal("kPa accessor")
+	}
+}
+
+func TestResistanceAccessor(t *testing.T) {
+	r := PaSecondsPerCubicMetre(3e12)
+	if r.PaSecondsPerCubicMetre() != 3e12 {
+		t.Fatal("resistance accessor")
+	}
+}

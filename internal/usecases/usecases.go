@@ -1,0 +1,212 @@
+// Package usecases defines the eight OoC evaluation use cases of the
+// paper (Sec. IV) and the parameter sweep applied to each: four
+// real-world-inspired chips (male_simple, female_simple,
+// male_gi_tract, male_kidney) and four generic liver chips with 5–8
+// modules (generic1–generic4), each instantiated over viscosity,
+// shear-stress and channel-spacing grids.
+package usecases
+
+import (
+	"fmt"
+
+	"ooc/internal/core"
+	"ooc/internal/fluid"
+	"ooc/internal/physio"
+	"ooc/internal/units"
+)
+
+// defaultOrganismMass is M_b for all evaluation chips (the scale used
+// by the paper's Example 1: a 1 mg organism).
+const defaultOrganismMass units.Mass = 1e-6
+
+// UseCase is a named specification builder.
+type UseCase struct {
+	Name string
+	// ModuleCount is the number of organ modules (Table I column 2).
+	ModuleCount int
+	// Build returns a fresh specification with default fluid, shear
+	// stress and geometry; the sweep overrides those.
+	Build func() core.Spec
+}
+
+func organChip(name string, ref func() physio.Reference, organs []physio.OrganID) UseCase {
+	return UseCase{
+		Name:        name,
+		ModuleCount: len(organs),
+		Build: func() core.Spec {
+			spec := core.Spec{
+				Name:         name,
+				Reference:    ref(),
+				OrganismMass: defaultOrganismMass,
+				Fluid:        fluid.MediumLowViscosity,
+				ShearStress:  1.5,
+			}
+			for _, o := range organs {
+				spec.Modules = append(spec.Modules, core.ModuleSpec{Organ: o, Kind: core.Layered})
+			}
+			return spec
+		},
+	}
+}
+
+func genericChip(name string, modules int) UseCase {
+	return UseCase{
+		Name:        name,
+		ModuleCount: modules,
+		Build: func() core.Spec {
+			spec := core.Spec{
+				Name:         name,
+				Reference:    physio.StandardMale(),
+				OrganismMass: defaultOrganismMass,
+				Fluid:        fluid.MediumLowViscosity,
+				ShearStress:  1.5,
+			}
+			for i := 0; i < modules; i++ {
+				spec.Modules = append(spec.Modules, core.ModuleSpec{
+					Name:  fmt.Sprintf("liver%d", i),
+					Organ: physio.Liver,
+					Kind:  core.Layered,
+				})
+			}
+			return spec
+		},
+	}
+}
+
+// All returns the eight paper use cases in Table I order.
+func All() []UseCase {
+	return []UseCase{
+		// Barrier tissue (lung or GI tract) for drug uptake, the liver
+		// for metabolism, the brain for species differences; the kidney
+		// case adds nephrotoxicity screening.
+		organChip("male_simple", physio.StandardMale,
+			[]physio.OrganID{physio.Lung, physio.Liver, physio.Brain}),
+		organChip("female_simple", physio.StandardFemale,
+			[]physio.OrganID{physio.Lung, physio.Liver, physio.Brain}),
+		organChip("male_gi_tract", physio.StandardMale,
+			[]physio.OrganID{physio.GITract, physio.Liver, physio.Brain}),
+		organChip("male_kidney", physio.StandardMale,
+			[]physio.OrganID{physio.Lung, physio.Liver, physio.Kidney, physio.Brain}),
+		genericChip("generic1", 5),
+		genericChip("generic2", 6),
+		genericChip("generic3", 7),
+		genericChip("generic4", 8),
+	}
+}
+
+// ByName finds a use case.
+func ByName(name string) (UseCase, error) {
+	for _, uc := range All() {
+		if uc.Name == name {
+			return uc, nil
+		}
+	}
+	return UseCase{}, fmt.Errorf("usecases: unknown use case %q", name)
+}
+
+// SweepParams is the evaluation parameter grid (Sec. IV).
+type SweepParams struct {
+	Viscosities []units.Viscosity
+	Shears      []units.ShearStress
+	Spacings    []units.Length
+}
+
+// PaperSweep returns the grid exactly as listed in the paper:
+// µ ∈ {7.2e-4, 9.3e-4, 1.1e-3} Pa·s, τ ∈ {1.2, 1.5, 2.0} Pa,
+// spacing ∈ {0.5, 1.0, 1.5} mm — 27 instances per use case
+// (216 total).
+func PaperSweep() SweepParams {
+	return SweepParams{
+		Viscosities: []units.Viscosity{7.2e-4, 9.3e-4, 1.1e-3},
+		Shears:      []units.ShearStress{1.2, 1.5, 2.0},
+		Spacings:    []units.Length{0.5e-3, 1.0e-3, 1.5e-3},
+	}
+}
+
+// ExtendedSweep adds a fourth spacing value (2.0 mm) so that the total
+// instance count matches the 288 designs the paper reports
+// (8 × 3 × 3 × 4; the listed 3×3×3 grid only yields 216 — see
+// DESIGN.md for the reconstruction note).
+func ExtendedSweep() SweepParams {
+	p := PaperSweep()
+	p.Spacings = append(p.Spacings, 2.0e-3)
+	return p
+}
+
+// Instance is one fully parameterized evaluation design.
+type Instance struct {
+	UseCase string
+	Fluid   fluid.Fluid
+	Shear   units.ShearStress
+	Spacing units.Length
+	Spec    core.Spec
+}
+
+// Label identifies the instance in logs and reports.
+func (in Instance) Label() string {
+	return fmt.Sprintf("%s/mu=%.2g/tau=%.2g/sp=%.2gmm",
+		in.UseCase, float64(in.Fluid.Viscosity), float64(in.Shear),
+		in.Spacing.Millimetres())
+}
+
+// fluidFor maps a sweep viscosity onto a culture-medium preset
+// (densities after Poon 2022).
+func fluidFor(mu units.Viscosity) fluid.Fluid {
+	switch {
+	case mu <= 8e-4:
+		f := fluid.MediumLowViscosity
+		f.Viscosity = mu
+		return f
+	case mu <= 1.0e-3:
+		f := fluid.MediumTypical
+		f.Viscosity = mu
+		return f
+	default:
+		f := fluid.MediumHighViscosity
+		f.Viscosity = mu
+		return f
+	}
+}
+
+// Instances expands use cases over the sweep grid.
+func Instances(cases []UseCase, p SweepParams) []Instance {
+	var out []Instance
+	for _, uc := range cases {
+		for _, mu := range p.Viscosities {
+			for _, tau := range p.Shears {
+				for _, sp := range p.Spacings {
+					spec := uc.Build()
+					spec.Fluid = fluidFor(mu)
+					spec.ShearStress = tau
+					spec.Geometry.Spacing = sp
+					out = append(out, Instance{
+						UseCase: uc.Name,
+						Fluid:   spec.Fluid,
+						Shear:   tau,
+						Spacing: sp,
+						Spec:    spec,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Fig4Instance returns the male_simple instance shown in the paper's
+// Fig. 4 (µ = 7.2e-4 Pa·s, τ = 1.5 Pa, spacing 1 mm; intended module
+// flow 7.81e-9 m³/s).
+func Fig4Instance() Instance {
+	uc, _ := ByName("male_simple")
+	spec := uc.Build()
+	spec.Fluid = fluidFor(7.2e-4)
+	spec.ShearStress = 1.5
+	spec.Geometry.Spacing = 1e-3
+	return Instance{
+		UseCase: uc.Name,
+		Fluid:   spec.Fluid,
+		Shear:   1.5,
+		Spacing: 1e-3,
+		Spec:    spec,
+	}
+}

@@ -1,0 +1,124 @@
+package usecases
+
+import (
+	"strings"
+	"testing"
+
+	"ooc/internal/core"
+)
+
+func TestAllMatchesTableI(t *testing.T) {
+	want := []struct {
+		name    string
+		modules int
+	}{
+		{"male_simple", 3},
+		{"female_simple", 3},
+		{"male_gi_tract", 3},
+		{"male_kidney", 4},
+		{"generic1", 5},
+		{"generic2", 6},
+		{"generic3", 7},
+		{"generic4", 8},
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("use case count %d, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		if all[i].Name != w.name || all[i].ModuleCount != w.modules {
+			t.Errorf("case %d: %s/%d, want %s/%d", i, all[i].Name, all[i].ModuleCount, w.name, w.modules)
+		}
+		spec := all[i].Build()
+		if len(spec.Modules) != w.modules {
+			t.Errorf("%s: built %d modules", w.name, len(spec.Modules))
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", w.name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	uc, err := ByName("male_kidney")
+	if err != nil || uc.ModuleCount != 4 {
+		t.Fatalf("ByName: %v, %d", err, uc.ModuleCount)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestSweepCounts(t *testing.T) {
+	paper := Instances(All(), PaperSweep())
+	if len(paper) != 216 {
+		t.Fatalf("paper grid: %d instances, want 216 (8×27)", len(paper))
+	}
+	ext := Instances(All(), ExtendedSweep())
+	if len(ext) != 288 {
+		t.Fatalf("extended grid: %d instances, want 288 (the paper's reported count)", len(ext))
+	}
+}
+
+func TestInstancesParameterized(t *testing.T) {
+	in := Instances(All()[:1], PaperSweep())
+	seen := map[string]bool{}
+	for _, i := range in {
+		if seen[i.Label()] {
+			t.Fatalf("duplicate instance %s", i.Label())
+		}
+		seen[i.Label()] = true
+		if i.Spec.Fluid.Viscosity != i.Fluid.Viscosity {
+			t.Fatal("fluid not applied to spec")
+		}
+		if i.Spec.ShearStress != i.Shear {
+			t.Fatal("shear not applied")
+		}
+		if i.Spec.Geometry.Spacing != i.Spacing {
+			t.Fatal("spacing not applied")
+		}
+	}
+}
+
+func TestFig4Instance(t *testing.T) {
+	in := Fig4Instance()
+	if in.UseCase != "male_simple" {
+		t.Fatalf("use case %s", in.UseCase)
+	}
+	res, err := core.Derive(in.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig. 4 intended flow.
+	for _, m := range res.Modules {
+		q := m.FlowRate.CubicMetresPerSecond()
+		if q < 7.81e-9 || q > 7.82e-9 {
+			t.Fatalf("module %s intended flow %g, want 7.8125e-9", m.Name, q)
+		}
+	}
+}
+
+func TestFemaleUsesFemaleReference(t *testing.T) {
+	uc, err := ByName("female_simple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := uc.Build()
+	if !strings.Contains(spec.Reference.Name, "female") {
+		t.Fatalf("reference %q", spec.Reference.Name)
+	}
+}
+
+func TestAllInstancesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in short mode")
+	}
+	// Smoke-generate one instance per use case (full grid covered by
+	// the benchmark harness).
+	for _, uc := range All() {
+		spec := uc.Build()
+		if _, err := core.Generate(spec); err != nil {
+			t.Errorf("%s: %v", uc.Name, err)
+		}
+	}
+}

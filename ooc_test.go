@@ -1,0 +1,130 @@
+package ooc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ooc"
+)
+
+func quickSpec() ooc.Spec {
+	return ooc.Spec{
+		Name:         "api_test",
+		Reference:    ooc.StandardMale(),
+		OrganismMass: ooc.Kilograms(1e-6),
+		Modules: []ooc.ModuleSpec{
+			{Organ: ooc.Lung, Kind: ooc.Layered},
+			{Organ: ooc.Liver, Kind: ooc.Layered},
+			{Organ: ooc.Brain, Kind: ooc.Layered},
+		},
+		Fluid:       ooc.MediumLowViscosity,
+		ShearStress: ooc.PascalsShear(1.5),
+	}
+}
+
+// TestPublicAPIEndToEnd exercises the documented workflow: spec →
+// Generate → Validate → render.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	design, err := ooc.Generate(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(design.Modules) != 3 || len(design.Channels) == 0 {
+		t.Fatal("incomplete design")
+	}
+
+	rep, err := ooc.Validate(design, ooc.ValidationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxFlowDeviation <= 0 || rep.MaxFlowDeviation > 0.15 {
+		t.Fatalf("flow deviation %g outside plausible band", rep.MaxFlowDeviation)
+	}
+
+	svg := ooc.RenderSVG(design)
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("SVG rendering failed")
+	}
+	raw, err := ooc.RenderJSON(design)
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("JSON rendering failed: %v", err)
+	}
+}
+
+func TestDeriveExposesScaling(t *testing.T) {
+	res, err := ooc.Derive(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	liver := res.Modules[1]
+	if math.Abs(liver.Mass.Kilograms()-1.42857e-8) > 1e-12 {
+		t.Fatalf("liver module mass %g", liver.Mass.Kilograms())
+	}
+	if math.Abs(liver.Perfusion-0.554) > 1e-3 {
+		t.Fatalf("liver perfusion %g", liver.Perfusion)
+	}
+}
+
+func TestUnitConstructors(t *testing.T) {
+	if ooc.Millimetres(1).Metres() != 1e-3 {
+		t.Fatal("Millimetres")
+	}
+	if ooc.Micrometres(150).Metres() != 150e-6 {
+		t.Fatal("Micrometres")
+	}
+	if math.Abs(ooc.MillilitresPerMinute(60).CubicMetresPerSecond()-1e-6) > 1e-18 {
+		t.Fatal("MillilitresPerMinute")
+	}
+	if ooc.DynPerCm2(15).Pascals() != 1.5 {
+		t.Fatal("DynPerCm2")
+	}
+	if math.Abs(ooc.Centipoise(0.72).PascalSeconds()-7.2e-4) > 1e-18 {
+		t.Fatal("Centipoise")
+	}
+	if ooc.Grams(1).Kilograms() != 1e-3 || ooc.Milligrams(1).Kilograms() != 1e-6 {
+		t.Fatal("mass constructors")
+	}
+}
+
+func TestReferenceTables(t *testing.T) {
+	male := ooc.StandardMale()
+	female := ooc.StandardFemale()
+	if male.BodyMass <= female.BodyMass {
+		t.Fatal("reference body masses implausible")
+	}
+	liver, err := male.Organ(ooc.Liver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liver.Mass.Kilograms() != 1.0 {
+		t.Fatalf("male liver mass %g, want the paper's 1 kg", liver.Mass.Kilograms())
+	}
+}
+
+// TestValidationModels: the approx/no-loss validation reproduces the
+// design exactly; the exact model deviates.
+func TestValidationModels(t *testing.T) {
+	design, err := ooc.Generate(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := ooc.Validate(design, ooc.ValidationOptions{
+		Model:                 ooc.ModelApprox,
+		DisableBendLosses:     true,
+		DisableJunctionLosses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.MaxFlowDeviation > 1e-6 {
+		t.Fatalf("self-consistency broken: %g", self.MaxFlowDeviation)
+	}
+	exact, err := ooc.Validate(design, ooc.ValidationOptions{Model: ooc.ModelExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.MaxFlowDeviation <= self.MaxFlowDeviation {
+		t.Fatal("exact model should deviate more than the self-consistent one")
+	}
+}
