@@ -264,7 +264,7 @@ func BenchmarkNodalSolve(b *testing.B) {
 func BenchmarkCrossSectionFDM(b *testing.B) {
 	cs := fluid.CrossSection{Width: units.Millimetres(1), Height: units.Micrometres(150)}
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.NumericResistance(cs, units.Millimetres(1), 7.2e-4, 32); err != nil {
+		if _, err := sim.NumericResistance(cs, units.Millimetres(1), physio.MediumViscosityLow, 32); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -138,8 +138,11 @@ func run(useCase, specPath, svgPath, jsonPath, dxfPath, gdsPath, fieldPath strin
 		if err != nil {
 			return err
 		}
-		defer out.Close()
 		if err := f.RenderPNG(out); err != nil {
+			_ = out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (max speed %.3g m/s)\n", fieldPath, f.MaxSpeed)

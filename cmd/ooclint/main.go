@@ -1,0 +1,89 @@
+// Command ooclint runs the repo's domain-aware static-analysis suite
+// (internal/analysis) over a Go module tree.
+//
+// Usage:
+//
+//	ooclint [-rules dimension,floatcmp,…] [-list] [path]
+//
+// path defaults to the current directory; a trailing /... is accepted
+// (and implied — the whole module under path is always analyzed).
+//
+// Exit codes: 0 — no findings; 1 — one or more diagnostics reported;
+// 2 — usage or load/type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ooc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("ooclint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	modPath := fs.String("mod", "", "treat the path as the root of a module with this path (for trees without go.mod)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			say(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.Select(*rules)
+	if err != nil {
+		say(errw, "ooclint: %v\n", err)
+		return 2
+	}
+	root := "."
+	if fs.NArg() > 0 {
+		root = strings.TrimSuffix(fs.Arg(0), "...")
+		if root = strings.TrimSuffix(root, "/"); root == "" {
+			root = "."
+		}
+	}
+	var mod *analysis.Module
+	if *modPath != "" {
+		mod, err = analysis.LoadTree(root, *modPath)
+	} else {
+		mod, err = analysis.LoadModule(root)
+	}
+	if err != nil {
+		say(errw, "ooclint: %v\n", err)
+		return 2
+	}
+	diags := analysis.Run(mod, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		say(out, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		say(errw, "ooclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// say writes formatted output, deliberately discarding the write
+// error: diagnostics go to stdio and there is no recovery path.
+func say(w io.Writer, format string, a ...any) {
+	_, _ = fmt.Fprintf(w, format, a...)
+}

@@ -82,8 +82,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer png.Close()
 	if err := fieldSolve.RenderPNG(png); err != nil {
+		log.Fatal(err)
+	}
+	if err := png.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfield solve: %d channel cells, max speed %.3g m/s\n",

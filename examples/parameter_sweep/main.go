@@ -35,9 +35,9 @@ func baseSpec() ooc.Spec {
 }
 
 func main() {
-	viscosities := []float64{7.2e-4, 9.3e-4, 1.1e-3} // Pa·s (Poon 2022)
-	shears := []float64{1.2, 1.5, 2.0}               // Pa (endothelial window)
-	spacings := []float64{0.5, 1.0, 1.5}             // mm
+	viscosities := []ooc.Viscosity{ooc.MediumViscosityLow, ooc.MediumViscosityTypical, ooc.MediumViscosityHigh}
+	shears := []float64{1.2, 1.5, 2.0}   // Pa (endothelial window)
+	spacings := []float64{0.5, 1.0, 1.5} // mm
 
 	fmt.Printf("%-10s %-6s %-8s | %12s %14s %12s | %10s %10s\n",
 		"µ [Pa·s]", "τ [Pa]", "sp [mm]", "chip [mm²]", "inlet pump", "recirc", "flow dev", "perf dev")
@@ -45,7 +45,7 @@ func main() {
 		for _, tau := range shears {
 			for _, sp := range spacings {
 				spec := baseSpec()
-				spec.Fluid.Viscosity = ooc.PascalSeconds(mu)
+				spec.Fluid.Viscosity = mu
 				spec.ShearStress = ooc.PascalsShear(tau)
 				spec.Geometry.Spacing = ooc.Millimetres(sp)
 

@@ -1,0 +1,395 @@
+// Package analysis is ooclint's static-analysis engine: a small,
+// stdlib-only analyzer framework (go/ast + go/types) with domain-aware
+// passes for the OoC designer — dimensional safety of units
+// quantities, floating-point comparison hygiene, error discipline,
+// physical-constant provenance, and concurrency hazards.
+//
+// Diagnostics can be suppressed per line with
+//
+//	//ooclint:ignore rule1,rule2 reason…
+//
+// placed on the offending line or on the line directly above it (an
+// omitted rule list suppresses every rule on that line). Suppression
+// is deliberate and visible in review — prefer fixing the code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name is the rule identifier used in output and in
+	// //ooclint:ignore comments.
+	Name string
+	// Doc is a one-line description shown by `ooclint -list`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries everything one analyzer invocation needs.
+type Pass struct {
+	Fset *token.FileSet
+	// Pkg is the unit under analysis.
+	Pkg *Package
+	// Module is the loaded module, for cross-package context.
+	Module *Module
+	// Consts maps float64 values of named constants declared in the
+	// blessed constant homes (internal/units, internal/physio) to
+	// their qualified names. Built once per run.
+	Consts map[float64]string
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InUnitsHome reports whether the package under analysis is one of the
+// blessed homes for physical constants and quantity definitions.
+func (p *Pass) InUnitsHome() bool {
+	name := p.Pkg.Name
+	return name == "units" || name == "physio" || strings.TrimSuffix(name, "_test") == "units" || strings.TrimSuffix(name, "_test") == "physio"
+}
+
+// Analyzers returns the full registry in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DimensionAnalyzer,
+		FloatCmpAnalyzer,
+		ErrCheckAnalyzer,
+		ConstProvAnalyzer,
+		ConcurrencyAnalyzer,
+	}
+}
+
+// Select resolves a comma-separated rule list against the registry.
+func Select(rules string) ([]*Analyzer, error) {
+	if rules == "" {
+		return Analyzers(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over every package of the module and
+// returns the surviving (unsuppressed) diagnostics sorted by position.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	consts := collectKnownConstants(mod)
+	sup := collectSuppressions(mod)
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     mod.Fset,
+				Pkg:      pkg,
+				Module:   mod,
+				Consts:   consts,
+				analyzer: a,
+			}
+			pass.report = func(d Diagnostic) {
+				if !sup.suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// collectKnownConstants harvests package-level float constants and
+// quantity-typed constants from the module's units and physio
+// packages. Other packages restating these values as raw literals are
+// flagged by the constprov analyzer.
+func collectKnownConstants(mod *Module) map[float64]string {
+	out := make(map[float64]string)
+	for _, pkg := range mod.Pkgs {
+		if pkg.Test || (pkg.Name != "units" && pkg.Name != "physio") {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			v := c.Val()
+			if v.Kind() != constant.Float && v.Kind() != constant.Int {
+				continue
+			}
+			f, _ := constant.Float64Val(v)
+			if trivialValue(f) {
+				continue
+			}
+			if _, dup := out[f]; !dup {
+				out[f] = pkg.Name + "." + name
+			}
+		}
+	}
+	return out
+}
+
+// trivialValue reports whether f is too generic to attribute to a
+// physical constant (small integers, powers of ten, common fractions).
+func trivialValue(f float64) bool {
+	if f < 0 {
+		f = -f
+	}
+	switch f {
+	case 0, 0.25, 0.5, 0.75, 1.5, 2.5:
+		return true
+	}
+	//ooclint:ignore floatcmp integrality classification is exact by design
+	if f == float64(int64(f)) && f <= 10 {
+		return true
+	}
+	// math.Pow10 is table-exact in this range; repeated multiplication
+	// would drift off the parsed literal values.
+	for e := -15; e <= 15; e++ {
+		//ooclint:ignore floatcmp powers of ten are exactly representable as parsed
+		if f == math.Pow10(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- suppression ------------------------------------------------------
+
+var ignoreRE = regexp.MustCompile(`^//\s*ooclint:ignore(?:\s+([A-Za-z0-9_,\-]+))?`)
+
+type suppressions struct {
+	// byLine maps file:line to the set of suppressed rules; the key
+	// rule "*" suppresses everything on the line.
+	byLine map[string]map[string]bool
+}
+
+func collectSuppressions(mod *Module) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[string]bool)}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					rules := []string{"*"}
+					if m[1] != "" {
+						rules = strings.Split(m[1], ",")
+					}
+					pos := mod.Fset.Position(c.Pos())
+					// The directive covers its own line (trailing
+					// comment) and the next line (standalone comment).
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						set := s.byLine[key]
+						if set == nil {
+							set = make(map[string]bool)
+							s.byLine[key] = set
+						}
+						for _, r := range rules {
+							set[strings.TrimSpace(r)] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	set := s.byLine[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
+	return set != nil && (set["*"] || set[d.Analyzer])
+}
+
+// ---- shared AST/type helpers -----------------------------------------
+
+// isQuantityType reports whether t is a named quantity type declared
+// in a units package (underlying float64), e.g. units.Length. The
+// second result is the type's object for naming.
+func isQuantityType(t types.Type) (*types.TypeName, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+		return nil, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return nil, false
+	}
+	return obj, true
+}
+
+// isFloatType reports whether t's underlying type is a floating-point
+// kind (including named quantity types).
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isErrorType reports whether t is (or trivially implements) the
+// built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+		return true
+	}
+	return types.AssignableTo(t, errorType)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// literalRoot unwraps parens and unary ± and returns the underlying
+// basic literal, if e is a pure literal expression.
+func literalRoot(e ast.Expr) (*ast.BasicLit, bool) {
+	e = unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.ADD || u.Op == token.SUB) {
+		return literalRoot(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.FLOAT && lit.Kind != token.INT) {
+		return nil, false
+	}
+	return lit, true
+}
+
+// constFloat returns the constant float64 value of e, if it has one.
+func constFloat(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(tv.Value)
+	return f, true
+}
+
+// enclosingFuncName returns the name of the innermost enclosing
+// function declaration for matching against helper allowlists.
+// Walk helpers below maintain the stack.
+type funcStack []string
+
+func (s funcStack) matches(re *regexp.Regexp) bool {
+	for _, name := range s {
+		if re.MatchString(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectWithFuncs walks every file of the package, keeping track of
+// the enclosing named function(s), and calls fn for each node.
+func inspectWithFuncs(pkg *Package, fn func(n ast.Node, funcs funcStack) bool) {
+	for _, f := range pkg.Files {
+		var stack funcStack
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if d, ok := n.(*ast.FuncDecl); ok {
+				stack = append(stack, d.Name.Name)
+				defer func() { stack = stack[:len(stack)-1] }()
+				if !fn(n, stack) {
+					return false
+				}
+				if d.Body != nil {
+					ast.Inspect(d.Body, func(m ast.Node) bool {
+						if m == nil {
+							return false
+						}
+						if _, isFn := m.(*ast.FuncDecl); isFn {
+							return false
+						}
+						return fn(m, stack)
+					})
+				}
+				return false
+			}
+			return fn(n, stack)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return walk(n)
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// loadFixture loads the deliberately bad packages under testdata/src
+// as a module named "fixture".
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	mod, err := LoadTree(filepath.Join("testdata", "src"), "fixture")
+	if err != nil {
+		t.Fatalf("loading fixture tree: %v", err)
+	}
+	return mod
+}
+
+// formatDiags renders diagnostics with paths relative to testdata/src
+// so the golden file is machine-independent.
+func formatDiags(t *testing.T, diags []Diagnostic) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return b.String()
+}
+
+// TestGolden runs every analyzer over the fixture tree and compares
+// the full, position-sorted diagnostic listing against the golden
+// file. Run with -update to regenerate it.
+func TestGolden(t *testing.T) {
+	mod := loadFixture(t)
+	got := formatDiags(t, Run(mod, Analyzers()))
+	golden := filepath.Join("testdata", "expect.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestEveryAnalyzerFires makes sure the fixture tree exercises each
+// registered analyzer at least once — a new analyzer without a fixture
+// fails here, not silently.
+func TestEveryAnalyzerFires(t *testing.T) {
+	mod := loadFixture(t)
+	diags := Run(mod, Analyzers())
+	fired := make(map[string]int)
+	for _, d := range diags {
+		fired[d.Analyzer]++
+	}
+	for _, a := range Analyzers() {
+		if fired[a.Name] == 0 {
+			t.Errorf("analyzer %q produced no diagnostics on the fixture tree", a.Name)
+		}
+	}
+}
+
+// TestCleanPackageIsClean is the negative case: the clean fixture
+// package must produce zero diagnostics.
+func TestCleanPackageIsClean(t *testing.T) {
+	mod := loadFixture(t)
+	for _, d := range Run(mod, Analyzers()) {
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/clean/") {
+			t.Errorf("clean package flagged: %s", d)
+		}
+	}
+}
+
+// TestSuppression verifies that //ooclint:ignore silences exactly the
+// named rule on the directive's line and the next one.
+func TestSuppression(t *testing.T) {
+	mod := loadFixture(t)
+	for _, d := range Run(mod, Analyzers()) {
+		if strings.HasSuffix(d.Pos.Filename, "floats.go") && d.Analyzer == "floatcmp" {
+			// Exact() holds the only suppressed comparison; its body
+			// sits between the two unsuppressed functions.
+			if d.Pos.Line >= 17 && d.Pos.Line <= 19 {
+				t.Errorf("suppressed diagnostic still reported: %s", d)
+			}
+		}
+	}
+}
+
+// TestSelect covers the rule-subset resolver.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full registry", len(all), err)
+	}
+	one, err := Select("floatcmp")
+	if err != nil || len(one) != 1 || one[0].Name != "floatcmp" {
+		t.Fatalf("Select(floatcmp) = %v, err %v", one, err)
+	}
+	if _, err := Select("nonsense"); err == nil {
+		t.Fatal("Select(nonsense) did not fail")
+	}
+}
+
+// TestRuleSubset verifies analyzers can run in isolation.
+func TestRuleSubset(t *testing.T) {
+	mod := loadFixture(t)
+	subset, err := Select("errcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(mod, subset) {
+		if d.Analyzer != "errcheck" {
+			t.Errorf("rule subset leaked diagnostic from %q: %s", d.Analyzer, d)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ConcurrencyAnalyzer prepares the codebase for the parallel solvers
+// on the roadmap by flagging the two hazards that bite first:
+//
+//   - a `go` or `defer` closure that captures a loop variable by
+//     reference. Go ≥ 1.22 gives each iteration its own variable, so
+//     this is defence in depth — but passing the value as an argument
+//     keeps the dependency explicit and survives toolchain
+//     backports/copying into pre-1.22 codebases;
+//   - a write to a package-level variable outside init or a test.
+//     Package state written at runtime is a data race the moment a
+//     solver goes parallel. Writes in functions that visibly take a
+//     lock (any call to a method named Lock/RLock in the same body)
+//     are accepted.
+var ConcurrencyAnalyzer = &Analyzer{
+	Name: "concurrency",
+	Doc:  "flag loop-variable capture in go/defer closures and unguarded writes to package-level state",
+	Run:  runConcurrency,
+}
+
+func runConcurrency(pass *Pass) {
+	info := pass.Pkg.Info
+	for i, f := range pass.Pkg.Files {
+		isTest := strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkLoopCapture(pass, loopVars(info, n.Key, n.Value), n.Body)
+			case *ast.ForStmt:
+				if init, ok := n.Init.(*ast.AssignStmt); ok {
+					var vars []types.Object
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								vars = append(vars, obj)
+							}
+						}
+					}
+					checkLoopCapture(pass, vars, n.Body)
+				}
+			case *ast.FuncDecl:
+				if !isTest {
+					checkGlobalWrites(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func loopVars(info *types.Info, exprs ...ast.Expr) []types.Object {
+	var vars []types.Object
+	for _, e := range exprs {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	return vars
+}
+
+// checkLoopCapture reports go/defer closures in body that reference
+// one of the loop's iteration variables.
+func checkLoopCapture(pass *Pass, vars []types.Object, body *ast.BlockStmt) {
+	if len(vars) == 0 || body == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		var kind string
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			call, kind = n.Call, "go"
+		case *ast.DeferStmt:
+			call, kind = n.Call, "defer"
+		default:
+			return true
+		}
+		lit, ok := unparen(call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		reported := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			use := info.Uses[id]
+			for _, v := range vars {
+				if use == v && !reported[v] {
+					reported[v] = true
+					pass.Reportf(id.Pos(),
+						"%s closure captures loop variable %s; pass it as an argument instead",
+						kind, v.Name())
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkGlobalWrites reports unguarded writes to package-level
+// variables inside fn.
+func checkGlobalWrites(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Name.Name == "init" {
+		return
+	}
+	if holdsLock(fn.Body) {
+		return
+	}
+	info := pass.Pkg.Info
+	report := func(id *ast.Ident, obj types.Object) {
+		pass.Reportf(id.Pos(),
+			"write to package-level variable %s outside init; unsafe once solvers run in parallel — guard it or refactor",
+			obj.Name())
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, obj := packageLevelTarget(info, lhs); id != nil {
+					report(id, obj)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, obj := packageLevelTarget(info, n.X); id != nil {
+				report(id, obj)
+			}
+		}
+		return true
+	})
+}
+
+// holdsLock reports whether the body visibly acquires a lock (a call
+// to a method named Lock or RLock).
+func holdsLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// packageLevelTarget resolves the root identifier of an assignment
+// target and returns it if it names a package-level variable.
+func packageLevelTarget(info *types.Info, e ast.Expr) (*ast.Ident, types.Object) {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj, ok := info.Uses[x].(*types.Var)
+			if !ok || obj.Pkg() == nil {
+				return nil, nil
+			}
+			if obj.Parent() != obj.Pkg().Scope() {
+				return nil, nil
+			}
+			return x, obj
+		default:
+			return nil, nil
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ConstProvAnalyzer enforces constant provenance: physical constants
+// (viscosities, densities, reference flows, shear setpoints) live in
+// internal/units and internal/physio, once, under a name. Two rules:
+//
+//   - a numeric literal in any other non-test package whose value
+//     exactly restates a named constant from units/physio is flagged —
+//     duplicated magic numbers drift apart silently;
+//   - a package-level const or var with a physically named identifier
+//     (…Viscosity…, …Density…, …Shear…, …) and a numeric type declared
+//     outside units/physio is flagged — the table of record is physio.
+//
+// Test files are exempt from the value rule: a test asserting the
+// value of a constant has to restate it.
+var ConstProvAnalyzer = &Analyzer{
+	Name: "constprov",
+	Doc:  "flag physical-constant literals and physically named constants defined outside internal/units and internal/physio",
+	Run:  runConstProv,
+}
+
+var physNameRE = regexp.MustCompile(`(?i)(viscos|densit|shear|perfus|cardiac|bloodflow|poise)`)
+
+func runConstProv(pass *Pass) {
+	if pass.InUnitsHome() {
+		return
+	}
+	for i, f := range pass.Pkg.Files {
+		isTest := strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLiterals(pass, n, isTest)
+				return false
+			case *ast.GenDecl:
+				if n.Tok == token.CONST || n.Tok == token.VAR {
+					checkDeclNames(pass, n)
+					checkLiterals(pass, n, isTest)
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkLiterals flags literals restating a known named constant.
+func checkLiterals(pass *Pass, root ast.Node, isTest bool) {
+	if isTest {
+		return
+	}
+	info := pass.Pkg.Info
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || (lit.Kind != token.FLOAT && lit.Kind != token.INT) {
+			return true
+		}
+		v, ok := constFloat(info, lit)
+		if !ok || trivialValue(v) {
+			return true
+		}
+		if name, known := pass.Consts[v]; known {
+			pass.Reportf(lit.Pos(),
+				"literal %s restates the physical constant %s; reference the named constant",
+				lit.Value, name)
+		}
+		return true
+	})
+}
+
+// checkDeclNames flags physically named numeric constants declared
+// outside the blessed packages. Pure re-exports — declarations whose
+// initializer is a reference to a units/physio constant — are the
+// blessed idiom for public API surfaces and are allowed.
+func checkDeclNames(pass *Pass, decl *ast.GenDecl) {
+	info := pass.Pkg.Info
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if !physNameRE.MatchString(name.Name) {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil || !numericType(obj.Type()) {
+				continue
+			}
+			if i < len(vs.Values) && isHomeConstRef(info, vs.Values[i]) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"physical constant %s defined outside internal/units and internal/physio; move it to the table of record",
+				name.Name)
+		}
+	}
+}
+
+// isHomeConstRef reports whether e is a bare reference to a constant
+// or variable declared in a units or physio package.
+func isHomeConstRef(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.(type) {
+	case *types.Const, *types.Var:
+		name := obj.Pkg().Name()
+		return name == "units" || name == "physio"
+	}
+	return false
+}
+
+func numericType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DimensionAnalyzer enforces dimensional safety around the units
+// quantity types (named float64 types declared in a package named
+// "units"):
+//
+//   - a non-zero numeric literal must not become a quantity value
+//     implicitly or by direct conversion — quantities are built with
+//     the units constructors (units.Micrometres, units.DynPerCm2, …)
+//     or named constants, which make the unit explicit. Two spellings
+//     stay legal because they already carry their unit: a dimensionless
+//     scale factor in a product or quotient (4 * radius), and the
+//     initializer of a constant declared with an explicit quantity
+//     type (const MaxRadius units.Length = 250e-6);
+//   - multiplying or dividing two non-constant values of the same
+//     quantity type is flagged: Go keeps the operand type, but the
+//     physical dimension squared or cancelled (Length·Length is an
+//     area, not a Length) — drop to float64 explicitly inside
+//     formulas;
+//   - converting one quantity type directly to another
+//     (units.Pressure → units.ShearStress, …) is flagged: crossing
+//     dimensions needs an explicit conversion helper that states the
+//     physics.
+//
+// The units package itself (and physio, the constant tables built on
+// it) defines quantity semantics and is exempt from the literal rule.
+var DimensionAnalyzer = &Analyzer{
+	Name: "dimension",
+	Doc:  "flag raw literals used as unit quantities, same-dimension ·/÷, and cross-dimension conversions",
+	Run:  runDimension,
+}
+
+func runDimension(pass *Pass) {
+	if pass.Pkg.Name == "units" || pass.Pkg.Name == "units_test" {
+		return
+	}
+	info := pass.Pkg.Info
+	litExempt := pass.InUnitsHome()
+	for _, f := range pass.Pkg.Files {
+		exempt := exemptLiterals(info, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.MUL && n.Op != token.QUO {
+					return true
+				}
+				tx := typeOf(info, n.X)
+				ty := typeOf(info, n.Y)
+				objX, okX := isQuantityType(tx)
+				_, okY := isQuantityType(ty)
+				if okX && okY && types.Identical(tx, ty) &&
+					!isConstExpr(info, n.X) && !isConstExpr(info, n.Y) {
+					op := "multiplying"
+					if n.Op == token.QUO {
+						op = "dividing"
+					}
+					pass.Reportf(n.OpPos,
+						"%s two %s values changes the physical dimension but keeps the Go type; convert to float64 explicitly",
+						op, objX.Name())
+				}
+			case *ast.CallExpr:
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := info.Types[n.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				dst, ok := isQuantityType(tv.Type)
+				if !ok {
+					return true
+				}
+				src, ok := isQuantityType(typeOf(info, n.Args[0]))
+				if ok && src != dst {
+					pass.Reportf(n.Pos(),
+						"converts %s directly to %s; crossing dimensions needs an explicit conversion helper",
+						src.Name(), dst.Name())
+				}
+			case *ast.BasicLit:
+				if litExempt || exempt[n] || (n.Kind != token.FLOAT && n.Kind != token.INT) {
+					return true
+				}
+				obj, ok := isQuantityType(typeOf(info, n))
+				if !ok {
+					return true
+				}
+				if v, ok := constFloat(info, n); ok && v == 0 {
+					return true // zero values and zero guards are fine
+				}
+				pass.Reportf(n.Pos(),
+					"raw literal %s used as %s; build the quantity with a units constructor or a named constant",
+					n.Value, obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// exemptLiterals collects quantity-typed literals that legally carry
+// their unit from context: dimensionless scale factors in a product or
+// quotient with a non-constant quantity operand, and initializers of
+// constants declared with an explicit quantity type.
+func exemptLiterals(info *types.Info, f *ast.File) map[*ast.BasicLit]bool {
+	exempt := make(map[*ast.BasicLit]bool)
+	markLits := func(e ast.Expr) {
+		if lit, ok := literalRoot(e); ok {
+			exempt[lit] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.MUL && n.Op != token.QUO {
+				return true
+			}
+			if _, ok := isQuantityType(typeOf(info, n)); !ok {
+				return true
+			}
+			if !isConstExpr(info, n.X) {
+				markLits(n.Y)
+			}
+			if !isConstExpr(info, n.Y) {
+				markLits(n.X)
+			}
+		case *ast.AssignStmt:
+			// Compound scale assignments (q *= 2, q /= 4) keep the
+			// dimension; the literal is a dimensionless factor.
+			if n.Tok != token.MUL_ASSIGN && n.Tok != token.QUO_ASSIGN {
+				return true
+			}
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			if _, ok := isQuantityType(typeOf(info, n.Lhs[0])); ok {
+				markLits(n.Rhs[0])
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.CONST {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue
+				}
+				if tv, ok := info.Types[vs.Type]; !ok || !tv.IsType() {
+					continue
+				} else if _, ok := isQuantityType(tv.Type); !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					markLits(v)
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}

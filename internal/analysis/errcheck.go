@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrCheckAnalyzer enforces error discipline:
+//
+//   - a call whose results include an error must not be used as a bare
+//     statement (or go/defer statement) — the error silently vanishes;
+//   - fmt.Errorf with an error argument must wrap it with %w so
+//     callers can errors.Is/As through the chain.
+//
+// Well-known never-fails sinks are exempt from the dropped-error rule:
+// fmt.Print* to stdout, fmt.Fprint* to os.Stdout/os.Stderr, and the
+// infallible writers strings.Builder and bytes.Buffer. An explicit
+// `_ =` assignment is always accepted as a deliberate discard.
+var ErrCheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag dropped error returns and fmt.Errorf that wraps an error without %w",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					checkDropped(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call, "go ")
+			case *ast.DeferStmt:
+				checkDropped(pass, n.Call, "defer ")
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDropped reports a statement-level call whose error result is
+// discarded.
+func checkDropped(pass *Pass, call *ast.CallExpr, prefix string) {
+	info := pass.Pkg.Info
+	if !resultsIncludeError(info, call) {
+		return
+	}
+	if droppedErrorAllowed(info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s%s returns an error that is not checked", prefix, calleeName(info, call))
+}
+
+// resultsIncludeError reports whether the call's result type is an
+// error or a tuple containing one.
+func resultsIncludeError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// droppedErrorAllowed exempts conventional never-fails sinks.
+func droppedErrorAllowed(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return false
+	}
+	full := obj.FullName()
+	switch {
+	case full == "fmt.Print", full == "fmt.Printf", full == "fmt.Println":
+		return true
+	case strings.HasPrefix(full, "(*strings.Builder)."),
+		strings.HasPrefix(full, "(*bytes.Buffer)."):
+		return true
+	case full == "fmt.Fprint" || full == "fmt.Fprintf" || full == "fmt.Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		return infallibleWriter(info, call.Args[0])
+	}
+	return false
+}
+
+// infallibleWriter reports whether e is os.Stdout/os.Stderr or an
+// in-memory writer whose Write never returns a non-nil error.
+func infallibleWriter(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" {
+			if obj, ok := info.Uses[sel.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+				(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return true
+			}
+		}
+	}
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "*strings.Builder" || s == "*bytes.Buffer"
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value but
+// whose (constant) format string has no %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	obj := calleeObject(info, call)
+	if obj == nil || obj.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return
+	}
+	format, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(typeOf(info, arg)) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error argument without %%w; the cause cannot be unwrapped")
+			return
+		}
+	}
+}
+
+// calleeObject resolves the called function, if it is a named one.
+func calleeObject(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeObject(info, call); fn != nil {
+		return fn.FullName()
+	}
+	return types.ExprString(call.Fun)
+}

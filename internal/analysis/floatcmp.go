@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point operands
+// (including the units quantity types). Exact float equality is almost
+// never what numerical code means; deviations accumulate through the
+// resistance and shear formulas, so comparisons belong in a tolerance
+// helper.
+//
+// Allowed without a diagnostic:
+//   - comparisons against an exact constant 0 (zero-value guards like
+//     `if q == 0` before a division);
+//   - the x != x NaN idiom;
+//   - comparisons inside tolerance helpers themselves (functions whose
+//     name mentions approx/almost/close/within/tol/nan).
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag exact ==/!= on floating-point operands outside tolerance helpers",
+	Run:  runFloatCmp,
+}
+
+var toleranceHelperRE = regexp.MustCompile(`(?i)(approx|almost|close|within|tol|nan)`)
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	inspectWithFuncs(pass.Pkg, func(n ast.Node, funcs funcStack) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloatType(typeOf(info, be.X)) || !isFloatType(typeOf(info, be.Y)) {
+			return true
+		}
+		if isConstZero(info, be.X) || isConstZero(info, be.Y) {
+			return true
+		}
+		if types.ExprString(be.X) == types.ExprString(be.Y) {
+			return true // x != x is the NaN check
+		}
+		if funcs.matches(toleranceHelperRE) {
+			return true
+		}
+		pass.Reportf(be.OpPos,
+			"exact floating-point %s comparison; use an approximate-equality helper with an explicit tolerance",
+			be.Op)
+		return true
+	})
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	v, ok := constFloat(info, e)
+	return ok && v == 0
+}

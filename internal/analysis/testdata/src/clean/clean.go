@@ -1,0 +1,33 @@
+// Package clean is the negative case: numerics and error handling
+// written the way the analyzers want. It must produce no diagnostics.
+package clean
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNegative reports a negative input.
+var ErrNegative = errors.New("clean: negative input")
+
+// Sqrt wraps errors with %w and guards zero exactly.
+func Sqrt(x float64) (float64, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("sqrt of %g: %w", x, ErrNegative)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(x), nil
+}
+
+// approxEqual compares with an explicit tolerance.
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// Converged reports convergence of successive iterates.
+func Converged(prev, next float64) bool {
+	return approxEqual(prev, next, 1e-12)
+}

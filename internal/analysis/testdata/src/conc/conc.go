@@ -1,0 +1,59 @@
+// Package conc violates the concurrency analyzer.
+package conc
+
+import "sync"
+
+var total int
+var cache = map[string]int{}
+
+// Add writes package-level state without a lock.
+func Add(k string, v int) {
+	total += v
+	cache[k] = v
+}
+
+var mu sync.Mutex
+
+// SafeAdd is fine: the function visibly takes a lock.
+func SafeAdd(v int) {
+	mu.Lock()
+	defer mu.Unlock()
+	total += v
+}
+
+// Spawn captures the range variable in a goroutine closure.
+func Spawn(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// Cleanup captures the index variable in a deferred closure.
+func Cleanup(names []string) {
+	for i := 0; i < len(names); i++ {
+		defer func() {
+			sink(i)
+		}()
+	}
+}
+
+// SpawnByValue is fine: the iteration value is passed as an argument.
+func SpawnByValue(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			sink(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func sink(int) {}

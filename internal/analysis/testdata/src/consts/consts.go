@@ -1,0 +1,27 @@
+// Package consts violates the constprov analyzer.
+package consts
+
+import "fixture/units"
+
+// MediaDensity is a physically named constant defined outside the
+// blessed packages.
+const MediaDensity = 1005.0
+
+// Mu restates the value of units.WaterViscosity as a raw literal.
+var Mu = units.PascalSeconds(1.002e-3)
+
+// Resistance restates the same constant inside a formula.
+func Resistance(l float64) float64 {
+	return 12 * 1.002e-3 * l
+}
+
+// ReexportedViscosity is fine despite the physical name: a pure
+// re-export of a table-of-record constant, the blessed idiom for
+// public API surfaces.
+const ReexportedViscosity = units.WaterViscosity
+
+// Scale is fine: a named constant from the table of record, and a
+// trivial geometric factor.
+func Scale(mu units.Viscosity) float64 {
+	return 0.5 * mu.PascalSeconds() / units.WaterViscosity.PascalSeconds()
+}

@@ -1,0 +1,52 @@
+// Package dim violates the dimension analyzer in every way it knows.
+package dim
+
+import "fixture/units"
+
+// Pad mixes a raw literal into a quantity sum (implicit conversion).
+func Pad(l units.Length) units.Length {
+	return l + 1.5e-3
+}
+
+// Area is dimensionally wrong: Length·Length is an area, but the Go
+// type stays Length.
+func Area(w, h units.Length) units.Length {
+	return w * h
+}
+
+// Ratio divides two lengths; the result is dimensionless yet typed.
+func Ratio(a, b units.Length) units.Length {
+	return a / b
+}
+
+// Recast crosses dimensions without a conversion helper.
+func Recast(p units.Pressure) units.ShearStress {
+	return units.ShearStress(p)
+}
+
+// Direct builds a quantity straight from a literal conversion.
+var Direct = units.Viscosity(9.3e-4)
+
+// MaxRadius is fine: a constant with an explicit quantity type names
+// its unit in the declaration.
+const MaxRadius units.Length = 250e-6
+
+// Doubled is fine: a compound scale assignment keeps the dimension,
+// the literal is a dimensionless factor.
+func Doubled(l units.Length) units.Length {
+	l *= 2
+	return l
+}
+
+// Good shows the approved spellings: constructors, zero values, and
+// dimensionless scale factors in products.
+func Good(w, h units.Length) (units.Length, float64) {
+	area := w.Metres() * h.Metres()
+	twice := 2 * w
+	half := h / 2
+	var zero units.Length
+	if w == 0 {
+		zero = units.Metres(0)
+	}
+	return zero + twice + half, area
+}

@@ -1,0 +1,34 @@
+// Package errs violates the errcheck analyzer.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+// Drop discards the error of a statement call.
+func Drop() {
+	work()
+}
+
+// Spawn discards the error of a goroutine call.
+func Spawn() {
+	go work()
+}
+
+// Wrap formats an error cause without %w.
+func Wrap(err error) error {
+	return fmt.Errorf("derive failed: %v", err)
+}
+
+// Good wraps properly, discards explicitly, and uses infallible sinks.
+func Good(err error) (string, error) {
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Println("status")
+	_ = work()
+	return b.String(), fmt.Errorf("derive failed: %w", err)
+}

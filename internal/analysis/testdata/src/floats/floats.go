@@ -1,0 +1,44 @@
+// Package floats violates the floatcmp analyzer.
+package floats
+
+// Same compares floats exactly.
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// Converged compares a residual against a target exactly.
+func Converged(residual, target float64) bool {
+	return residual != target
+}
+
+// Exact is suppressed: the comparison is intentional.
+func Exact(a, b float64) bool {
+	//ooclint:ignore floatcmp bitwise equality is the contract here
+	return a == b
+}
+
+// ZeroGuard is fine: comparisons against exact zero are allowed.
+func ZeroGuard(q float64) bool {
+	return q == 0
+}
+
+// IsNaN is fine: the x != x idiom.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// approxEqual is fine: tolerance helpers may short-circuit on
+// equality.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Use keeps the helper referenced.
+var Use = approxEqual(1, 1, 0)

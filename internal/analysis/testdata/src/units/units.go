@@ -1,0 +1,19 @@
+// Package units is a miniature fixture mirror of the repo's
+// internal/units: named float64 quantity types plus one named physical
+// constant the constprov analyzer should learn.
+package units
+
+type Length float64
+type Pressure float64
+type ShearStress float64
+type Viscosity float64
+
+func Metres(v float64) Length            { return Length(v) }
+func Pascals(v float64) Pressure         { return Pressure(v) }
+func PascalSeconds(v float64) Viscosity  { return Viscosity(v) }
+func DynPerCm2(v float64) ShearStress    { return ShearStress(v * 0.1) }
+func (l Length) Metres() float64         { return float64(l) }
+func (v Viscosity) PascalSeconds() float64 { return float64(v) }
+
+// WaterViscosity is the dynamic viscosity of water at 20 °C.
+const WaterViscosity Viscosity = 1.002e-3

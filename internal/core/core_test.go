@@ -6,6 +6,7 @@ import (
 
 	"ooc/internal/fluid"
 	"ooc/internal/physio"
+	"ooc/internal/testutil"
 	"ooc/internal/units"
 )
 
@@ -23,7 +24,7 @@ func maleSimpleSpec() Spec {
 			{Organ: physio.Brain, Kind: Layered},
 		},
 		Fluid:       fluid.MediumLowViscosity,
-		ShearStress: 1.5,
+		ShearStress: units.PascalsShear(1.5),
 	}
 }
 
@@ -237,7 +238,7 @@ func TestSpecValidation(t *testing.T) {
 	}
 
 	bad = maleSimpleSpec()
-	bad.ShearStress = 5 // outside the endothelial window
+	bad.ShearStress = units.PascalsShear(5) // outside the endothelial window
 	if err := bad.Validate(); err == nil {
 		t.Error("shear stress outside [1,2] Pa accepted")
 	}
@@ -332,9 +333,9 @@ func fmt8(prefix string, i int) string {
 // male_simple and checks that every instance generates and passes its
 // internal invariants.
 func TestParameterSweepConverges(t *testing.T) {
-	for _, mu := range []units.Viscosity{7.2e-4, 9.3e-4, 1.1e-3} {
-		for _, tau := range []units.ShearStress{1.2, 1.5, 2.0} {
-			for _, sp := range []units.Length{0.5e-3, 1e-3, 1.5e-3} {
+	for _, mu := range []units.Viscosity{physio.MediumViscosityLow, physio.MediumViscosityTypical, physio.MediumViscosityHigh} {
+		for _, tau := range []units.ShearStress{units.PascalsShear(1.2), units.PascalsShear(1.5), units.PascalsShear(2.0)} {
+			for _, sp := range []units.Length{units.Millimetres(0.5), units.Millimetres(1), units.Millimetres(1.5)} {
 				spec := maleSimpleSpec()
 				spec.Fluid.Viscosity = mu
 				spec.ShearStress = tau
@@ -357,6 +358,7 @@ func TestParameterSweepConverges(t *testing.T) {
 func TestPumpSettingsMatchPlan(t *testing.T) {
 	d := mustGenerate(t, maleSimpleSpec())
 	in, out, rec := d.Plan.Pumps()
+	//ooclint:ignore floatcmp pump settings are copied verbatim from the plan
 	if d.Pumps.Inlet != in || d.Pumps.Outlet != out || d.Pumps.Recirculation != rec {
 		t.Fatal("pump settings diverge from the plan")
 	}
@@ -438,6 +440,7 @@ func TestAllometricScalingExtension(t *testing.T) {
 			resAllo.Modules[2].Mass.Kilograms(), resLin.Modules[2].Mass.Kilograms())
 	}
 	// The other modules are unchanged.
+	//ooclint:ignore floatcmp untouched values must match bit-for-bit
 	if resAllo.Modules[1].Mass != resLin.Modules[1].Mass {
 		t.Fatal("allometric option leaked to other modules")
 	}
@@ -533,13 +536,13 @@ func TestGeometryDefaultsApplied(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := res.Geometry
-	if g.ChannelHeight.Micrometres() != 150 {
+	if !testutil.Approx(g.ChannelHeight.Micrometres(), 150) {
 		t.Fatalf("default channel height %v", g.ChannelHeight)
 	}
-	if g.LayeredModuleWidth.Millimetres() != 1 {
+	if !testutil.Approx(g.LayeredModuleWidth.Millimetres(), 1) {
 		t.Fatalf("default module width %v", g.LayeredModuleWidth)
 	}
-	if g.VerticalWidthFactor != 1.5 {
+	if !testutil.Approx(g.VerticalWidthFactor, 1.5) {
 		t.Fatalf("default width factor %g", g.VerticalWidthFactor)
 	}
 }

@@ -217,15 +217,15 @@ func pressureCorrect(res *Resolved, plan *FlowPlan, st *layoutState) (*requiredP
 	feedCS := res.FeedCrossSection()
 
 	// Per-metre resistances under the designer's model (Eq. 6).
-	rVert, err := fluid.ResistanceApprox(vertCS, 1, mu)
+	rVert, err := fluid.ResistanceApprox(vertCS, units.Metres(1), mu)
 	if err != nil {
 		return nil, err
 	}
-	rMod, err := fluid.ResistanceApprox(modCS, 1, mu)
+	rMod, err := fluid.ResistanceApprox(modCS, units.Metres(1), mu)
 	if err != nil {
 		return nil, err
 	}
-	rFeed, err := fluid.ResistanceApprox(feedCS, 1, mu)
+	rFeed, err := fluid.ResistanceApprox(feedCS, units.Metres(1), mu)
 	if err != nil {
 		return nil, err
 	}

@@ -564,7 +564,10 @@ func seedInitialGuess(f *Field, d *core.Design, cell float64) {
 						continue
 					}
 					// Arc position of the projection onto the segment.
+					// Segments are rectilinear with copied endpoint
+					// coordinates, so orientation is exact equality.
 					var along float64
+					//ooclint:ignore floatcmp structural equality of copied coordinates
 					if b.X != a.X {
 						along = math.Abs(cx - a.X)
 					} else {
@@ -588,7 +591,7 @@ func seedInitialGuess(f *Field, d *core.Design, cell float64) {
 func wallFactor(cs fluid.CrossSection, mu units.Viscosity) float64 {
 	w := float64(cs.Width)
 	h := float64(cs.Height)
-	exact, err := fluid.ResistanceExact(cs, 1, mu)
+	exact, err := fluid.ResistanceExact(cs, units.Metres(1), mu)
 	if err != nil {
 		return 1
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"ooc/internal/physio"
 	"ooc/internal/units"
 )
 
@@ -24,12 +25,12 @@ type Fluid struct {
 }
 
 // Culture media presets covering the viscosity range evaluated in the
-// paper (Poon 2022, cited as [32]): µ ∈ {7.2e-4, 9.3e-4, 1.1e-3} Pa·s.
-// Density of supplemented media is close to water.
+// paper (Poon 2022, cited as [32]). The numbers live in
+// internal/physio, the table of record for physical constants.
 var (
-	MediumLowViscosity  = Fluid{Name: "medium-low", Viscosity: 7.2e-4, Density: 1000}
-	MediumTypical       = Fluid{Name: "medium-typical", Viscosity: 9.3e-4, Density: 1005}
-	MediumHighViscosity = Fluid{Name: "medium-high", Viscosity: 1.1e-3, Density: 1010}
+	MediumLowViscosity  = Fluid{Name: "medium-low", Viscosity: physio.MediumViscosityLow, Density: physio.MediumDensityLow}
+	MediumTypical       = Fluid{Name: "medium-typical", Viscosity: physio.MediumViscosityTypical, Density: physio.MediumDensityTypical}
+	MediumHighViscosity = Fluid{Name: "medium-high", Viscosity: physio.MediumViscosityHigh, Density: physio.MediumDensityHigh}
 )
 
 // Validate reports whether the fluid parameters are physical.
@@ -186,21 +187,14 @@ func ShearForFlow(q units.FlowRate, cs CrossSection, mu units.Viscosity) (units.
 	return units.ShearStress(6 * float64(mu) * float64(q) / (w * h * h)), nil
 }
 
-// Physiological shear-stress window for endothelial cells (Roux et al.,
-// cited as [23]): strong enough to prevent dedifferentiation, weak
-// enough not to wash the cells off the membrane.
-const (
-	MinEndothelialShear units.ShearStress = 1.0 // Pa
-	MaxEndothelialShear units.ShearStress = 2.0 // Pa
-)
-
 // CheckEndothelialShear reports an error when τ falls outside the
-// 1–2 Pa window from the paper. The evaluation sweeps τ = 1.2…2.0 Pa,
+// 1–2 Pa endothelial window (physio.MinEndothelialShear …
+// physio.MaxEndothelialShear). The evaluation sweeps τ = 1.2…2.0 Pa,
 // all inside the window.
 func CheckEndothelialShear(tau units.ShearStress) error {
-	if tau < MinEndothelialShear || tau > MaxEndothelialShear {
+	if tau < physio.MinEndothelialShear || tau > physio.MaxEndothelialShear {
 		return fmt.Errorf("fluid: shear stress %.3g Pa outside endothelial window [%g, %g] Pa",
-			float64(tau), float64(MinEndothelialShear), float64(MaxEndothelialShear))
+			float64(tau), float64(physio.MinEndothelialShear), float64(physio.MaxEndothelialShear))
 	}
 	return nil
 }
@@ -316,7 +310,7 @@ func BendEquivalentLength(q units.FlowRate, cs CrossSection, f Fluid) units.Leng
 		return 0
 	}
 	dp := float64(MinorLoss(Bend90, q, cs, f))
-	r, err := ResistanceExact(cs, 1, f.Viscosity)
+	r, err := ResistanceExact(cs, units.Metres(1), f.Viscosity)
 	if err != nil {
 		return 0
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ooc/internal/physio"
 	"ooc/internal/units"
 )
 
@@ -31,7 +32,7 @@ func verticalChannel() CrossSection {
 func TestFlowForShearMatchesFig4(t *testing.T) {
 	// Fig. 4's intended module flow: τ=1.5 Pa, w=1 mm, h=150 µm,
 	// µ=7.2e-4 Pa·s  ->  Q = 7.8125e-9 m³/s.
-	q, err := FlowForShear(1.5, moduleChannel(), 7.2e-4)
+	q, err := FlowForShear(units.PascalsShear(1.5), moduleChannel(), physio.MediumViscosityLow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestShearFlowRoundTrip(t *testing.T) {
 func TestResistanceApproxKnownValue(t *testing.T) {
 	// Hand-computed Eq. 6: w=1mm, h=150µm, l=1mm, µ=7.2e-4.
 	cs := moduleChannel()
-	r, err := ResistanceApprox(cs, units.Millimetres(1), 7.2e-4)
+	r, err := ResistanceApprox(cs, units.Millimetres(1), physio.MediumViscosityLow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestResistanceExactVsApprox(t *testing.T) {
 	// For very wide channels the two agree; at h/w = 2/3 they differ
 	// by ~1%. This gap is the designer-vs-CFD model error the paper
 	// discusses.
-	mu := units.Viscosity(9.3e-4)
+	mu := physio.MediumViscosityTypical
 	l := units.Millimetres(5)
 
 	wide := CrossSection{Width: units.Millimetres(10), Height: units.Micrometres(150)}
@@ -131,7 +132,7 @@ func TestResistanceScalesLinearlyWithLength(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		cs := verticalChannel()
-		mu := units.Viscosity(7.2e-4)
+		mu := physio.MediumViscosityLow
 		l1 := units.Length(1e-4 + r.Float64()*1e-2)
 		k := 1 + r.Float64()*9
 		r1, err := ResistanceExact(cs, l1, mu)
@@ -151,7 +152,7 @@ func TestResistanceScalesLinearlyWithLength(t *testing.T) {
 
 func TestResistanceMonotoneInHeight(t *testing.T) {
 	// Taller channel (same width) must have lower resistance.
-	mu := units.Viscosity(9.3e-4)
+	mu := physio.MediumViscosityTypical
 	l := units.Millimetres(2)
 	prev := math.Inf(1)
 	for _, h := range []float64{50, 100, 150, 200, 300, 500} {
@@ -186,19 +187,19 @@ func TestCrossSectionValidation(t *testing.T) {
 
 func TestResistanceArgumentValidation(t *testing.T) {
 	cs := moduleChannel()
-	if _, err := ResistanceApprox(cs, 0, 7.2e-4); err == nil {
+	if _, err := ResistanceApprox(cs, 0, physio.MediumViscosityLow); err == nil {
 		t.Error("zero length accepted")
 	}
 	if _, err := ResistanceExact(cs, units.Millimetres(1), 0); err == nil {
 		t.Error("zero viscosity accepted")
 	}
-	if _, err := FlowForShear(0, cs, 7.2e-4); err == nil {
+	if _, err := FlowForShear(0, cs, physio.MediumViscosityLow); err == nil {
 		t.Error("zero shear accepted")
 	}
-	if _, err := FlowForShear(1.5, CrossSection{}, 7.2e-4); err == nil {
+	if _, err := FlowForShear(units.PascalsShear(1.5), CrossSection{}, physio.MediumViscosityLow); err == nil {
 		t.Error("invalid cross-section accepted by FlowForShear")
 	}
-	if _, err := ShearForFlow(-1, cs, 7.2e-4); err == nil {
+	if _, err := ShearForFlow(-1, cs, physio.MediumViscosityLow); err == nil {
 		t.Error("negative flow accepted by ShearForFlow")
 	}
 }
@@ -213,7 +214,7 @@ func TestHydraulicDiameter(t *testing.T) {
 
 func TestReynoldsRegime(t *testing.T) {
 	// OoC operating points must be deeply laminar (Re << 2000).
-	q, err := FlowForShear(2.0, moduleChannel(), 7.2e-4)
+	q, err := FlowForShear(units.PascalsShear(2.0), moduleChannel(), physio.MediumViscosityLow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestReynoldsRegime(t *testing.T) {
 func TestEntranceLengthShort(t *testing.T) {
 	// Entrance lengths must be far below typical channel lengths (mm);
 	// otherwise the fully developed resistance model would be invalid.
-	q, err := FlowForShear(1.5, moduleChannel(), 7.2e-4)
+	q, err := FlowForShear(units.PascalsShear(1.5), moduleChannel(), physio.MediumViscosityLow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,12 +268,12 @@ func TestDeanNumber(t *testing.T) {
 }
 
 func TestCheckEndothelialShear(t *testing.T) {
-	for _, tau := range []units.ShearStress{1.2, 1.5, 2.0} { // paper's sweep
+	for _, tau := range []units.ShearStress{units.PascalsShear(1.2), units.PascalsShear(1.5), units.PascalsShear(2.0)} { // paper's sweep
 		if err := CheckEndothelialShear(tau); err != nil {
 			t.Errorf("τ=%g Pa rejected: %v", float64(tau), err)
 		}
 	}
-	for _, tau := range []units.ShearStress{0.5, 2.5} {
+	for _, tau := range []units.ShearStress{units.PascalsShear(0.5), units.PascalsShear(2.5)} {
 		if err := CheckEndothelialShear(tau); err == nil {
 			t.Errorf("τ=%g Pa accepted", float64(tau))
 		}
@@ -288,7 +289,7 @@ func TestFluidValidate(t *testing.T) {
 	if err := (Fluid{Name: "bad"}).Validate(); err == nil {
 		t.Error("zero fluid accepted")
 	}
-	if err := (Fluid{Name: "bad", Viscosity: 1e-3}).Validate(); err == nil {
+	if err := (Fluid{Name: "bad", Viscosity: units.PascalSeconds(1e-3)}).Validate(); err == nil {
 		t.Error("zero density accepted")
 	}
 }

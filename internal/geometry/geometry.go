@@ -147,6 +147,10 @@ func (pl Polyline) Bounds(channelWidth float64) Rect {
 func (pl Polyline) IsRectilinear() bool {
 	for i := 1; i < len(pl.Points); i++ {
 		a, b := pl.Points[i-1], pl.Points[i]
+		// Generated routes copy coordinates verbatim, so axis
+		// alignment is exact equality of stored values, not a
+		// tolerance question.
+		//ooclint:ignore floatcmp structural equality of copied coordinates
 		if a.X != b.X && a.Y != b.Y {
 			return false
 		}

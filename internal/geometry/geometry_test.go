@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"ooc/internal/testutil"
 )
 
 func TestRectBasics(t *testing.T) {
@@ -12,7 +14,7 @@ func TestRectBasics(t *testing.T) {
 	if r.Min != (Point{-1, 1}) || r.Max != (Point{2, 3}) {
 		t.Fatalf("NewRect normalization failed: %+v", r)
 	}
-	if r.Width() != 3 || r.Height() != 2 {
+	if !testutil.Approx(r.Width(), 3) || !testutil.Approx(r.Height(), 2) {
 		t.Fatalf("extent: %g × %g", r.Width(), r.Height())
 	}
 	if r.Empty() {
@@ -84,7 +86,7 @@ func TestRectUnion(t *testing.T) {
 
 func TestPolylineLength(t *testing.T) {
 	pl := Polyline{Points: []Point{{0, 0}, {0, 2}, {3, 2}}}
-	if pl.Length() != 5 {
+	if !testutil.Approx(pl.Length(), 5) {
 		t.Fatalf("length = %g, want 5", pl.Length())
 	}
 }
@@ -137,7 +139,7 @@ func TestPolylineTranslate(t *testing.T) {
 	if pl.Points[0] != (Point{0, 0}) {
 		t.Fatal("translate mutated the original")
 	}
-	if moved.Length() != pl.Length() {
+	if !testutil.Approx(moved.Length(), pl.Length()) {
 		t.Fatal("translation changed length")
 	}
 }
@@ -224,7 +226,7 @@ func TestPointArithmetic(t *testing.T) {
 	if q != (Point{3, 0}) {
 		t.Fatalf("Sub: %+v", q)
 	}
-	if d := (Point{0, 0}).Distance(Point{3, 4}); d != 5 {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); !testutil.Approx(d, 5) {
 		t.Fatalf("Distance: %g", d)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"ooc/internal/testutil"
 )
 
 func TestSolve2x2(t *testing.T) {
@@ -35,7 +37,7 @@ func TestSolveIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range b {
-		if x[i] != b[i] {
+		if !testutil.Approx(x[i], b[i]) {
 			t.Fatalf("identity solve changed b: %v vs %v", x, b)
 		}
 	}
@@ -191,6 +193,7 @@ func TestFactorizeDoesNotMutateInput(t *testing.T) {
 	}
 	for i := 0; i < 5; i++ {
 		for j := 0; j < 5; j++ {
+			//ooclint:ignore floatcmp untouched values must match bit-for-bit
 			if a.At(i, j) != before.At(i, j) {
 				t.Fatalf("Factorize mutated input at (%d,%d)", i, j)
 			}
@@ -202,11 +205,11 @@ func TestMatrixAddAndMaxAbs(t *testing.T) {
 	m := NewMatrix(2, 2)
 	m.Add(0, 1, 2.5)
 	m.Add(0, 1, -1.0)
-	if m.At(0, 1) != 1.5 {
+	if !testutil.Approx(m.At(0, 1), 1.5) {
 		t.Fatalf("Add: got %g", m.At(0, 1))
 	}
 	m.Set(1, 0, -9)
-	if m.MaxAbs() != 9 {
+	if !testutil.Approx(m.MaxAbs(), 9) {
 		t.Fatalf("MaxAbs: got %g", m.MaxAbs())
 	}
 }

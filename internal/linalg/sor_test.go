@@ -132,9 +132,11 @@ func TestPoissonIterationBudget(t *testing.T) {
 func TestGrid2DAccessors(t *testing.T) {
 	g := NewGrid2D(4, 3)
 	g.Set(2, 1, 7.5)
+	//ooclint:ignore floatcmp storage round-trip is bit-exact
 	if g.At(2, 1) != 7.5 {
 		t.Fatal("Set/At mismatch")
 	}
+	//ooclint:ignore floatcmp storage round-trip is bit-exact
 	if g.V[1*4+2] != 7.5 {
 		t.Fatal("row-major layout violated")
 	}

@@ -80,6 +80,7 @@ func TestPathInvariants(t *testing.T) {
 			return false
 		}
 		last := pts[len(pts)-1]
+		//ooclint:ignore floatcmp generated endpoints copy spec coordinates verbatim
 		if last.Y != s.Height || last.X < 0 || last.X > s.MaxWidth+1e-15 {
 			return false
 		}
@@ -114,6 +115,7 @@ func TestRunSpacingRespectsPitch(t *testing.T) {
 	var levels []float64
 	pts := r.Path.Points
 	for i := 1; i < len(pts); i++ {
+		//ooclint:ignore floatcmp structural equality of copied coordinates
 		if pts[i].Y == pts[i-1].Y && pts[i].X != pts[i-1].X {
 			levels = append(levels, pts[i].Y)
 		}

@@ -166,19 +166,19 @@ func TestValidationErrors(t *testing.T) {
 	n := New()
 	a := n.AddNode("a")
 	b := n.AddNode("b")
-	if _, err := n.AddChannel("self", a, a, 1); err == nil {
+	if _, err := n.AddChannel("self", a, a, units.PaSecondsPerCubicMetre(1)); err == nil {
 		t.Error("self-loop accepted")
 	}
 	if _, err := n.AddChannel("zero-r", a, b, 0); err == nil {
 		t.Error("zero resistance accepted")
 	}
-	if _, err := n.AddChannel("bad-node", a, NodeID(99), 1); err == nil {
+	if _, err := n.AddChannel("bad-node", a, NodeID(99), units.PaSecondsPerCubicMetre(1)); err == nil {
 		t.Error("unknown node accepted")
 	}
-	if err := n.AddSource("bad", NodeID(99), a, 1); err == nil {
+	if err := n.AddSource("bad", NodeID(99), a, units.CubicMetresPerSecond(1)); err == nil {
 		t.Error("unknown source node accepted")
 	}
-	if err := n.AddSource("self", a, a, 1); err == nil {
+	if err := n.AddSource("self", a, a, units.CubicMetresPerSecond(1)); err == nil {
 		t.Error("self source accepted")
 	}
 	empty := New()

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"ooc/internal/testutil"
 	"ooc/internal/units"
 )
 
@@ -151,10 +152,10 @@ func TestMNAWithMixedSources(t *testing.T) {
 func TestPressureSourceValidation(t *testing.T) {
 	n := New()
 	a := n.AddNode("a")
-	if err := n.AddPressureSource("self", a, a, 1); err == nil {
+	if err := n.AddPressureSource("self", a, a, units.Pascals(1)); err == nil {
 		t.Error("self-loop pressure source accepted")
 	}
-	if err := n.AddPressureSource("bad", NodeID(9), a, 1); err == nil {
+	if err := n.AddPressureSource("bad", NodeID(9), a, units.Pascals(1)); err == nil {
 		t.Error("unknown node accepted")
 	}
 }
@@ -176,7 +177,7 @@ func TestSolveMNAWithoutPressureSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s1.Flow(c) != s2.Flow(c) {
+	if !testutil.ApproxEqual(float64(s1.Flow(c)), float64(s2.Flow(c)), 1e-18) {
 		t.Fatalf("Solve %v vs SolveMNA %v", s1.Flow(c), s2.Flow(c))
 	}
 }

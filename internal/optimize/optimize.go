@@ -106,11 +106,16 @@ var ErrInfeasible = errors.New("optimize: no feasible design in the search grid"
 func Optimize(spec core.Spec, opt Options) (*Result, error) {
 	heights := opt.ChannelHeights
 	if heights == nil {
-		heights = []units.Length{100e-6, 125e-6, 150e-6, 175e-6, 200e-6}
+		heights = []units.Length{
+			units.Micrometres(100), units.Micrometres(125), units.Micrometres(150),
+			units.Micrometres(175), units.Micrometres(200),
+		}
 	}
 	gaps := opt.MinGaps
 	if gaps == nil {
-		gaps = []units.Length{2e-3, 2.5e-3, 3e-3, 4e-3}
+		gaps = []units.Length{
+			units.Millimetres(2), units.Millimetres(2.5), units.Millimetres(3), units.Millimetres(4),
+		}
 	}
 	maxDev := opt.Constraints.MaxFlowDeviation
 	if maxDev == 0 {

@@ -8,6 +8,7 @@ import (
 	"ooc/internal/core"
 	"ooc/internal/fluid"
 	"ooc/internal/physio"
+	"ooc/internal/testutil"
 	"ooc/internal/units"
 )
 
@@ -22,7 +23,7 @@ func baseSpec() core.Spec {
 			{Organ: physio.Brain, Kind: core.Layered},
 		},
 		Fluid:       fluid.MediumLowViscosity,
-		ShearStress: 1.5,
+		ShearStress: units.PascalsShear(1.5),
 	}
 }
 
@@ -84,7 +85,7 @@ func TestOptimizeTotalFlow(t *testing.T) {
 	}
 	// Lower channels mean lower flows (Q ∝ h²): the winner should use
 	// the smallest candidate height.
-	if res.BestSpec.Geometry.ChannelHeight != units.Length(100e-6) {
+	if !testutil.Approx(res.BestSpec.Geometry.ChannelHeight.Micrometres(), 100) {
 		t.Fatalf("flow optimum uses h=%v, expected the smallest candidate",
 			res.BestSpec.Geometry.ChannelHeight)
 	}
@@ -129,8 +130,8 @@ func TestConstraintFiltering(t *testing.T) {
 func TestCustomGrids(t *testing.T) {
 	res, err := Optimize(baseSpec(), Options{
 		Objective:      MinimizeArea,
-		ChannelHeights: []units.Length{150e-6},
-		MinGaps:        []units.Length{2.5e-3, 3e-3},
+		ChannelHeights: []units.Length{units.Micrometres(150)},
+		MinGaps:        []units.Length{units.Millimetres(2.5), units.Millimetres(3)},
 	})
 	if err != nil {
 		t.Fatal(err)

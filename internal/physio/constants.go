@@ -1,0 +1,38 @@
+package physio
+
+import "ooc/internal/units"
+
+// This file is the table of record for the physical constants the
+// designer relies on, next to the reference-human tables. ooclint's
+// constprov analyzer enforces that other packages reference these
+// names instead of restating the numbers: duplicated magic constants
+// drift apart silently, and every design result depends on them.
+
+// Culture-medium properties. The three viscosities span the range
+// evaluated in the paper (Poon 2022, cited as [32]); densities of
+// supplemented media are close to water.
+const (
+	// MediumViscosityLow is the low end of the culture-medium
+	// viscosity range, µ = 7.2e-4 Pa·s.
+	MediumViscosityLow units.Viscosity = 7.2e-4
+	// MediumViscosityTypical is the typical culture-medium viscosity,
+	// µ = 9.3e-4 Pa·s.
+	MediumViscosityTypical units.Viscosity = 9.3e-4
+	// MediumViscosityHigh is the high end of the culture-medium
+	// viscosity range, µ = 1.1e-3 Pa·s.
+	MediumViscosityHigh units.Viscosity = 1.1e-3
+
+	// MediumDensityLow, MediumDensityTypical and MediumDensityHigh are
+	// the matching mass densities in kg/m³.
+	MediumDensityLow     units.Density = 1000
+	MediumDensityTypical units.Density = 1005
+	MediumDensityHigh    units.Density = 1010
+)
+
+// Physiological shear-stress window for endothelial cells (Roux et
+// al., the paper's [23]): strong enough to prevent dedifferentiation,
+// weak enough not to wash the cells off the membrane.
+const (
+	MinEndothelialShear units.ShearStress = 1.0 // Pa
+	MaxEndothelialShear units.ShearStress = 2.0 // Pa
+)

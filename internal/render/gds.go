@@ -59,25 +59,28 @@ const dbuPerMetre = 1e9
 // unit 1 nm, user unit 1 µm.
 func GDS(d *core.Design) []byte {
 	var b bytes.Buffer
+	// binary.Write into a bytes.Buffer cannot fail for fixed-size
+	// values; the explicit discard keeps that decision visible.
+	put := func(w *bytes.Buffer, v any) { _ = binary.Write(w, binary.BigEndian, v) }
 	rec := func(rt uint16, payload []byte) {
 		if len(payload)%2 != 0 {
 			payload = append(payload, 0)
 		}
-		binary.Write(&b, binary.BigEndian, uint16(len(payload)+4))
-		binary.Write(&b, binary.BigEndian, rt)
+		put(&b, uint16(len(payload)+4))
+		put(&b, rt)
 		b.Write(payload)
 	}
 	i16 := func(vs ...int16) []byte {
 		var p bytes.Buffer
 		for _, v := range vs {
-			binary.Write(&p, binary.BigEndian, v)
+			put(&p, v)
 		}
 		return p.Bytes()
 	}
 	i32 := func(vs ...int32) []byte {
 		var p bytes.Buffer
 		for _, v := range vs {
-			binary.Write(&p, binary.BigEndian, v)
+			put(&p, v)
 		}
 		return p.Bytes()
 	}

@@ -72,6 +72,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if len(doc.Modules) != len(d.Modules) || len(doc.Channels) != len(d.Channels) {
 		t.Fatal("module/channel counts lost")
 	}
+	//ooclint:ignore floatcmp serialization copies the value verbatim
 	if doc.Pumps.InletM3S != d.Pumps.Inlet.CubicMetresPerSecond() {
 		t.Fatal("pump settings lost")
 	}

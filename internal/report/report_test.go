@@ -108,6 +108,7 @@ func TestAggregateSeries(t *testing.T) {
 	if len(s.Points) != 2 {
 		t.Fatalf("points: %d", len(s.Points))
 	}
+	//ooclint:ignore floatcmp sweep parameters are copied verbatim into the summary
 	if s.Points[0].Parameter != 0.5e-3 || s.Points[1].Parameter != 1e-3 {
 		t.Fatal("points not sorted by parameter")
 	}

@@ -22,7 +22,7 @@ func goodDesign(t *testing.T) *core.Design {
 			{Organ: physio.Brain, Kind: core.Layered},
 		},
 		Fluid:       fluid.MediumLowViscosity,
-		ShearStress: 1.5,
+		ShearStress: units.PascalsShear(1.5),
 	}
 	d, err := core.Generate(spec)
 	if err != nil {
@@ -181,7 +181,7 @@ func TestAllUseCaseDesignsPassReview(t *testing.T) {
 			Reference:    physio.StandardMale(),
 			OrganismMass: units.Kilograms(1e-6),
 			Fluid:        fluid.MediumLowViscosity,
-			ShearStress:  1.5,
+			ShearStress:  units.PascalsShear(1.5),
 		}
 		for _, o := range set {
 			spec.Modules = append(spec.Modules, core.ModuleSpec{Organ: o, Kind: core.Layered})

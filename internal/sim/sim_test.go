@@ -21,7 +21,7 @@ func maleSimpleSpec() core.Spec {
 			{Organ: physio.Brain, Kind: core.Layered},
 		},
 		Fluid:       fluid.MediumLowViscosity,
-		ShearStress: 1.5,
+		ShearStress: units.PascalsShear(1.5),
 	}
 }
 
@@ -181,7 +181,7 @@ func TestValidateUnknownModel(t *testing.T) {
 // agree with the Fourier-series solution to well under a percent, and
 // expose the error of the approximate Eq. 6 at h/w = 2/3.
 func TestNumericResistanceMatchesExact(t *testing.T) {
-	mu := units.Viscosity(9.3e-4)
+	mu := physio.MediumViscosityTypical
 	l := units.Millimetres(5)
 	for _, cs := range []fluid.CrossSection{
 		{Width: units.Millimetres(1), Height: units.Micrometres(150)},
@@ -207,7 +207,7 @@ func TestNumericResistanceMatchesExact(t *testing.T) {
 // with the exact series against the paper's approximation — the
 // mechanism behind the CFD deviations.
 func TestNumericExposesEq6Error(t *testing.T) {
-	mu := units.Viscosity(7.2e-4)
+	mu := physio.MediumViscosityLow
 	l := units.Millimetres(5)
 	cs := fluid.CrossSection{Width: units.Micrometres(225), Height: units.Micrometres(150)}
 	approx, err := fluid.ResistanceApprox(cs, l, mu)
@@ -232,17 +232,17 @@ func TestNumericExposesEq6Error(t *testing.T) {
 
 func TestNumericResistanceValidation(t *testing.T) {
 	cs := fluid.CrossSection{Width: units.Millimetres(1), Height: units.Micrometres(150)}
-	if _, err := NumericResistance(cs, 0, 1e-3, 32); err == nil {
+	if _, err := NumericResistance(cs, 0, units.PascalSeconds(1e-3), 32); err == nil {
 		t.Error("zero length accepted")
 	}
 	if _, err := NumericResistance(cs, units.Millimetres(1), 0, 32); err == nil {
 		t.Error("zero viscosity accepted")
 	}
-	if _, err := NumericResistance(cs, units.Millimetres(1), 1e-3, 4); err == nil {
+	if _, err := NumericResistance(cs, units.Millimetres(1), units.PascalSeconds(1e-3), 4); err == nil {
 		t.Error("too-coarse grid accepted")
 	}
 	bad := fluid.CrossSection{Width: units.Micrometres(100), Height: units.Micrometres(200)}
-	if _, err := NumericResistance(bad, units.Millimetres(1), 1e-3, 32); err == nil {
+	if _, err := NumericResistance(bad, units.Millimetres(1), units.PascalSeconds(1e-3), 32); err == nil {
 		t.Error("invalid cross-section accepted")
 	}
 }

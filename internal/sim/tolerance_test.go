@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"ooc/internal/testutil"
 )
 
 func TestToleranceAnalysisBasics(t *testing.T) {
@@ -112,16 +114,16 @@ func TestToleranceValidation(t *testing.T) {
 
 func TestQuantileAndYieldHelpers(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4, 5}
-	if q := quantile(sorted, 0.5); q != 3 {
+	if q := quantile(sorted, 0.5); !testutil.Approx(q, 3) {
 		t.Fatalf("median %g", q)
 	}
-	if q := quantile(sorted, 0); q != 1 {
+	if q := quantile(sorted, 0); !testutil.Approx(q, 1) {
 		t.Fatalf("q0 %g", q)
 	}
-	if q := quantile(sorted, 1); q != 5 {
+	if q := quantile(sorted, 1); !testutil.Approx(q, 5) {
 		t.Fatalf("q1 %g", q)
 	}
-	if q := quantile(sorted, 0.25); q != 2 {
+	if q := quantile(sorted, 0.25); !testutil.Approx(q, 2) {
 		t.Fatalf("q25 %g", q)
 	}
 	if y := yield([]float64{0.01, 0.02, 0.3}, 0.05); y < 0.66 || y > 0.67 {

@@ -34,18 +34,22 @@ func TestParseSampleDoc(t *testing.T) {
 	if !strings.Contains(spec.Reference.Name, "female") {
 		t.Fatalf("reference %q", spec.Reference.Name)
 	}
+	//ooclint:ignore floatcmp parsed values are copied verbatim
 	if spec.Fluid.Viscosity.PascalSeconds() != 9.3e-4 {
 		t.Fatal("viscosity not applied")
 	}
+	//ooclint:ignore floatcmp parsed values are copied verbatim
 	if spec.ShearStress.Pascals() != 1.2 {
 		t.Fatal("shear not applied")
 	}
+	//ooclint:ignore floatcmp parsed values are copied verbatim
 	if spec.Geometry.Spacing.Metres() != 0.5e-3 {
 		t.Fatal("spacing not applied")
 	}
 	if len(spec.Modules) != 3 {
 		t.Fatalf("modules %d", len(spec.Modules))
 	}
+	//ooclint:ignore floatcmp parsed values are copied verbatim
 	if spec.Modules[2].Kind != core.Round || spec.Modules[2].Perfusion != 0.2 {
 		t.Fatalf("tumor module: %+v", spec.Modules[2])
 	}
@@ -82,7 +86,9 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if back.Name != spec.Name ||
 		len(back.Modules) != len(spec.Modules) ||
+		//ooclint:ignore floatcmp round-trip preserves values bit-for-bit
 		back.ShearStress != spec.ShearStress ||
+		//ooclint:ignore floatcmp round-trip preserves values bit-for-bit
 		back.Fluid.Viscosity != spec.Fluid.Viscosity {
 		t.Fatal("round trip lost fields")
 	}
@@ -110,6 +116,7 @@ func TestDefaults(t *testing.T) {
 	if !strings.Contains(spec.Reference.Name, "male") {
 		t.Fatal("default reference should be male")
 	}
+	//ooclint:ignore floatcmp parsed values are copied verbatim
 	if spec.Fluid.Viscosity.PascalSeconds() != 7.2e-4 {
 		t.Fatal("default fluid should be the low-viscosity medium")
 	}
@@ -131,6 +138,7 @@ func TestScalingExponentCarried(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//ooclint:ignore floatcmp parsed values are copied verbatim
 	if spec.Modules[0].ScalingExponent != 0.76 {
 		t.Fatal("scaling exponent lost")
 	}

@@ -1,0 +1,33 @@
+// Package testutil holds the shared numerical assertions of the test
+// tree. ooclint's floatcmp analyzer forbids exact ==/!= on floats
+// outside tolerance helpers; tests compare through ApproxEqual so the
+// tolerance is always explicit.
+package testutil
+
+import "math"
+
+// DefaultTol is the tolerance used for "this should be the value the
+// formula produces" assertions: loose enough to absorb reassociated
+// floating-point evaluation, tight enough to catch any real defect.
+const DefaultTol = 1e-12
+
+// ApproxEqual reports whether a and b agree within tol, measured
+// relative to the larger magnitude once values exceed 1 (so the same
+// call works for metre-scale geometry and for the ~1e9 Pa·s/m³
+// resistances of the designer). NaNs never compare equal; equal
+// infinities do.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true // covers equal infinities and exact hits
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities; also Inf vs finite
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Approx is ApproxEqual at DefaultTol.
+func Approx(a, b float64) bool {
+	return ApproxEqual(a, b, DefaultTol)
+}

@@ -1,0 +1,40 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		tol  float64
+		want bool
+	}{
+		{"exact hit", 1.5, 1.5, 0, true},
+		{"within absolute tol", 1e-7, 1.1e-7, 1e-6, true},
+		{"outside absolute tol", 0, 1e-3, 1e-6, false},
+		{"relative above magnitude 1", 3e12, 3e12 * (1 + 1e-13), 1e-12, true},
+		{"relative outside tol", 3e12, 3.1e12, 1e-12, false},
+		{"one ulp apart", 100e-6, 100 * 1e-6, 1e-12, true},
+		{"equal infinities", math.Inf(1), math.Inf(1), 1e-12, true},
+		{"opposite infinities", math.Inf(1), math.Inf(-1), 1e-12, false},
+		{"nan never equal", math.NaN(), math.NaN(), 1e-12, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: ApproxEqual(%g, %g, %g) = %v, want %v",
+				c.name, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxUsesDefaultTol(t *testing.T) {
+	if !Approx(1, 1+1e-13) {
+		t.Error("1 ulp-scale difference rejected at DefaultTol")
+	}
+	if Approx(1, 1+1e-9) {
+		t.Error("1e-9 difference accepted at DefaultTol")
+	}
+}

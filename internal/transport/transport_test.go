@@ -22,7 +22,7 @@ func testDesign(t *testing.T) *core.Design {
 			{Organ: physio.Brain, Kind: core.Layered},
 		},
 		Fluid:       fluid.MediumLowViscosity,
-		ShearStress: 1.5,
+		ShearStress: units.PascalsShear(1.5),
 	}
 	d, err := core.Generate(spec)
 	if err != nil {

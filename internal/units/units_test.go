@@ -158,14 +158,14 @@ func TestFlowRateString(t *testing.T) {
 
 func TestAreaAndVolumeAccessors(t *testing.T) {
 	a := SquareMetres(2e-6)
-	if a.SquareMillimetres() != 2 {
+	if !almostEqual(a.SquareMillimetres(), 2, 1e-12) {
 		t.Fatalf("area mm²: %g", a.SquareMillimetres())
 	}
 	v := CubicMetres(1e-9)
-	if v.Microlitres() != 1 {
+	if !almostEqual(v.Microlitres(), 1, 1e-12) {
 		t.Fatalf("volume µL: %g", v.Microlitres())
 	}
-	if GramsPerMillilitre(1.06).KilogramsPerCubicMetre() != 1060 {
+	if !almostEqual(GramsPerMillilitre(1.06).KilogramsPerCubicMetre(), 1060, 1e-12) {
 		t.Fatal("density conversion")
 	}
 }
@@ -185,14 +185,14 @@ func TestMicrolitresPerHour(t *testing.T) {
 }
 
 func TestKilopascalsAccessor(t *testing.T) {
-	if Pascals(5860).Kilopascals() != 5.86 {
+	if !almostEqual(Pascals(5860).Kilopascals(), 5.86, 1e-12) {
 		t.Fatal("kPa accessor")
 	}
 }
 
 func TestResistanceAccessor(t *testing.T) {
 	r := PaSecondsPerCubicMetre(3e12)
-	if r.PaSecondsPerCubicMetre() != 3e12 {
+	if !almostEqual(r.PaSecondsPerCubicMetre(), 3e12, 1e-12) {
 		t.Fatal("resistance accessor")
 	}
 }

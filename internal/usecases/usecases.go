@@ -39,7 +39,7 @@ func organChip(name string, ref func() physio.Reference, organs []physio.OrganID
 				Reference:    ref(),
 				OrganismMass: defaultOrganismMass,
 				Fluid:        fluid.MediumLowViscosity,
-				ShearStress:  1.5,
+				ShearStress:  units.PascalsShear(1.5),
 			}
 			for _, o := range organs {
 				spec.Modules = append(spec.Modules, core.ModuleSpec{Organ: o, Kind: core.Layered})
@@ -59,7 +59,7 @@ func genericChip(name string, modules int) UseCase {
 				Reference:    physio.StandardMale(),
 				OrganismMass: defaultOrganismMass,
 				Fluid:        fluid.MediumLowViscosity,
-				ShearStress:  1.5,
+				ShearStress:  units.PascalsShear(1.5),
 			}
 			for i := 0; i < modules; i++ {
 				spec.Modules = append(spec.Modules, core.ModuleSpec{
@@ -117,9 +117,9 @@ type SweepParams struct {
 // (216 total).
 func PaperSweep() SweepParams {
 	return SweepParams{
-		Viscosities: []units.Viscosity{7.2e-4, 9.3e-4, 1.1e-3},
-		Shears:      []units.ShearStress{1.2, 1.5, 2.0},
-		Spacings:    []units.Length{0.5e-3, 1.0e-3, 1.5e-3},
+		Viscosities: []units.Viscosity{physio.MediumViscosityLow, physio.MediumViscosityTypical, physio.MediumViscosityHigh},
+		Shears:      []units.ShearStress{units.PascalsShear(1.2), units.PascalsShear(1.5), units.PascalsShear(2.0)},
+		Spacings:    []units.Length{units.Millimetres(0.5), units.Millimetres(1.0), units.Millimetres(1.5)},
 	}
 }
 
@@ -129,7 +129,7 @@ func PaperSweep() SweepParams {
 // DESIGN.md for the reconstruction note).
 func ExtendedSweep() SweepParams {
 	p := PaperSweep()
-	p.Spacings = append(p.Spacings, 2.0e-3)
+	p.Spacings = append(p.Spacings, units.Millimetres(2.0))
 	return p
 }
 
@@ -153,11 +153,11 @@ func (in Instance) Label() string {
 // (densities after Poon 2022).
 func fluidFor(mu units.Viscosity) fluid.Fluid {
 	switch {
-	case mu <= 8e-4:
+	case mu <= units.PascalSeconds(8e-4):
 		f := fluid.MediumLowViscosity
 		f.Viscosity = mu
 		return f
-	case mu <= 1.0e-3:
+	case mu <= units.PascalSeconds(1.0e-3):
 		f := fluid.MediumTypical
 		f.Viscosity = mu
 		return f
@@ -199,14 +199,14 @@ func Instances(cases []UseCase, p SweepParams) []Instance {
 func Fig4Instance() Instance {
 	uc, _ := ByName("male_simple")
 	spec := uc.Build()
-	spec.Fluid = fluidFor(7.2e-4)
-	spec.ShearStress = 1.5
-	spec.Geometry.Spacing = 1e-3
+	spec.Fluid = fluidFor(physio.MediumViscosityLow)
+	spec.ShearStress = units.PascalsShear(1.5)
+	spec.Geometry.Spacing = units.Millimetres(1)
 	return Instance{
 		UseCase: uc.Name,
 		Fluid:   spec.Fluid,
-		Shear:   1.5,
-		Spacing: 1e-3,
+		Shear:   units.PascalsShear(1.5),
+		Spacing: units.Millimetres(1),
 		Spec:    spec,
 	}
 }

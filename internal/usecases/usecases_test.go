@@ -68,12 +68,15 @@ func TestInstancesParameterized(t *testing.T) {
 			t.Fatalf("duplicate instance %s", i.Label())
 		}
 		seen[i.Label()] = true
+		//ooclint:ignore floatcmp sweep fields are copied verbatim into the spec
 		if i.Spec.Fluid.Viscosity != i.Fluid.Viscosity {
 			t.Fatal("fluid not applied to spec")
 		}
+		//ooclint:ignore floatcmp sweep fields are copied verbatim into the spec
 		if i.Spec.ShearStress != i.Shear {
 			t.Fatal("shear not applied")
 		}
+		//ooclint:ignore floatcmp sweep fields are copied verbatim into the spec
 		if i.Spec.Geometry.Spacing != i.Spacing {
 			t.Fatal("spacing not applied")
 		}

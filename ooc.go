@@ -137,6 +137,14 @@ var (
 	MediumHighViscosity = fluid.MediumHighViscosity
 )
 
+// Published culture-medium property values (Poon 2022) — the table of
+// record lives in internal/physio; these are the public handles.
+const (
+	MediumViscosityLow     = physio.MediumViscosityLow
+	MediumViscosityTypical = physio.MediumViscosityTypical
+	MediumViscosityHigh    = physio.MediumViscosityHigh
+)
+
 // Generate runs the full design-automation pipeline: specification
 // derivation (Sec. III-A), flow initialization, pressure correction,
 // meander insertion and offset correction (Sec. III-B).

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ooc"
+	"ooc/internal/testutil"
 )
 
 func quickSpec() ooc.Spec {
@@ -67,22 +68,22 @@ func TestDeriveExposesScaling(t *testing.T) {
 }
 
 func TestUnitConstructors(t *testing.T) {
-	if ooc.Millimetres(1).Metres() != 1e-3 {
+	if !testutil.Approx(ooc.Millimetres(1).Metres(), 1e-3) {
 		t.Fatal("Millimetres")
 	}
-	if ooc.Micrometres(150).Metres() != 150e-6 {
+	if !testutil.Approx(ooc.Micrometres(150).Metres(), 150e-6) {
 		t.Fatal("Micrometres")
 	}
 	if math.Abs(ooc.MillilitresPerMinute(60).CubicMetresPerSecond()-1e-6) > 1e-18 {
 		t.Fatal("MillilitresPerMinute")
 	}
-	if ooc.DynPerCm2(15).Pascals() != 1.5 {
+	if !testutil.Approx(ooc.DynPerCm2(15).Pascals(), 1.5) {
 		t.Fatal("DynPerCm2")
 	}
 	if math.Abs(ooc.Centipoise(0.72).PascalSeconds()-7.2e-4) > 1e-18 {
 		t.Fatal("Centipoise")
 	}
-	if ooc.Grams(1).Kilograms() != 1e-3 || ooc.Milligrams(1).Kilograms() != 1e-6 {
+	if !testutil.Approx(ooc.Grams(1).Kilograms(), 1e-3) || !testutil.Approx(ooc.Milligrams(1).Kilograms(), 1e-6) {
 		t.Fatal("mass constructors")
 	}
 }
@@ -97,7 +98,7 @@ func TestReferenceTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if liver.Mass.Kilograms() != 1.0 {
+	if !testutil.Approx(liver.Mass.Kilograms(), 1.0) {
 		t.Fatalf("male liver mass %g, want the paper's 1 kg", liver.Mass.Kilograms())
 	}
 }
