@@ -19,6 +19,7 @@ import (
 
 	"ooc"
 	"ooc/internal/core"
+	"ooc/internal/eval"
 	"ooc/internal/fluid"
 	"ooc/internal/linalg"
 	"ooc/internal/meander"
@@ -83,6 +84,38 @@ func BenchmarkTableI(b *testing.B) {
 			tbl.Rows = append(tbl.Rows, report.Aggregate(uc.Name, uc.ModuleCount, reps, failures))
 		}
 		tbl.Sort()
+	}
+	var worstFlow, worstPerf float64
+	for _, r := range tbl.Rows {
+		if r.FlowMax > worstFlow {
+			worstFlow = r.FlowMax
+		}
+		if r.PerfMax > worstPerf {
+			worstPerf = r.PerfMax
+		}
+	}
+	b.ReportMetric(worstFlow, "flowdev-max-%")
+	b.ReportMetric(worstPerf, "perfdev-max-%")
+	if b.N == 1 {
+		b.Logf("\n%s", tbl.Format())
+	}
+}
+
+// BenchmarkTableIParallel evaluates the same 288-instance grid through
+// the shared worker pool (internal/eval on internal/parallel) — the
+// production path of cmd/oocbench. Its Table I output is byte-identical
+// to the serial BenchmarkTableI aggregation; the wall-clock ratio of
+// the two benchmarks is the pool's speedup on this machine.
+func BenchmarkTableIParallel(b *testing.B) {
+	cases := usecases.All()
+	instances := usecases.Instances(cases, usecases.ExtendedSweep())
+	var tbl report.Table
+	for i := 0; i < b.N; i++ {
+		reps, err := eval.Grid(instances, 0, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = eval.Table(cases, instances, reps)
 	}
 	var worstFlow, worstPerf float64
 	for _, r := range tbl.Rows {
@@ -268,6 +301,69 @@ func BenchmarkCrossSectionFDM(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCrossSectionCached measures the cross-section solve cache:
+// `cold` resets the cache before every solve (the pre-cache cost),
+// `warm` solves the same similarity class repeatedly and amortizes the
+// single FDM solve — the common case in a use-case grid, where every
+// module channel shares one aspect ratio. The cold/warm ratio is the
+// per-channel speedup of a cache hit.
+func BenchmarkCrossSectionCached(b *testing.B) {
+	cs := fluid.CrossSection{Width: units.Millimetres(1), Height: units.Micrometres(150)}
+	l := units.Millimetres(1)
+	mu := physio.MediumViscosityLow
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.ResetCrossSectionCache()
+			if _, err := sim.NumericResistance(cs, l, mu, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sim.ResetCrossSectionCache()
+		if _, err := sim.NumericResistance(cs, l, mu, 32); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.NumericResistance(cs, l, mu, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkValidateNumericModel measures the FDM-backed validation of
+// the Fig. 4 chip — the CFD-lite model on every channel — with a warm
+// solve cache, against the same validation with the cache cleared on
+// every iteration.
+func BenchmarkValidateNumericModel(b *testing.B) {
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.ResetCrossSectionCache()
+			if _, err := sim.Validate(d, sim.Options{Model: sim.ModelNumeric}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		sim.ResetCrossSectionCache()
+		if _, err := sim.Validate(d, sim.Options{Model: sim.ModelNumeric}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Validate(d, sim.Options{Model: sim.ModelNumeric}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDerive measures specification resolution alone (Eq. 1–4).

@@ -5,42 +5,80 @@
 // and module flow rate per use case) as well as the Fig. 4 per-module
 // flow listing for male_simple.
 //
+// The grid is evaluated through the shared worker pool
+// (internal/parallel via internal/eval): rows are aggregated in
+// instance-index order and every per-instance failure is preserved,
+// so the output is byte-identical for any -workers value.
+//
 // Usage:
 //
 //	oocbench              # extended 288-instance grid (matches the paper's count)
 //	oocbench -paper-grid  # the literal 3×3×3 grid from the text (216 instances)
 //	oocbench -fig4        # only the Fig. 4 validation
 //	oocbench -csv         # machine-readable Table I
+//	oocbench -workers 1   # serial evaluation (default: GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
-	"sync"
+	"strings"
 
 	"ooc/internal/core"
+	"ooc/internal/eval"
 	"ooc/internal/report"
 	"ooc/internal/sim"
 	"ooc/internal/usecases"
 )
 
+// config collects the command-line switches so tests can drive run
+// directly.
+type config struct {
+	paperGrid bool
+	fig4Only  bool
+	csv       bool
+	baseline  bool
+	series    bool
+	workers   int
+}
+
 func main() {
-	paperGrid := flag.Bool("paper-grid", false, "use the literal 3×3×3 parameter grid (216 instances) instead of the 288-instance extended grid")
-	fig4Only := flag.Bool("fig4", false, "only run the Fig. 4 male_simple validation")
-	csv := flag.Bool("csv", false, "emit Table I as CSV")
-	baseline := flag.Bool("baseline", false, "also evaluate the no-pressure-correction baseline on the Fig. 4 instance")
-	series := flag.Bool("series", false, "also print deviation-vs-parameter data series (spacing, viscosity, shear)")
+	var cfg config
+	flag.BoolVar(&cfg.paperGrid, "paper-grid", false, "use the literal 3×3×3 parameter grid (216 instances) instead of the 288-instance extended grid")
+	flag.BoolVar(&cfg.fig4Only, "fig4", false, "only run the Fig. 4 male_simple validation")
+	flag.BoolVar(&cfg.csv, "csv", false, "emit Table I as CSV")
+	flag.BoolVar(&cfg.baseline, "baseline", false, "also evaluate the no-pressure-correction baseline on the Fig. 4 instance")
+	flag.BoolVar(&cfg.series, "series", false, "also print deviation-vs-parameter data series (spacing, viscosity, shear)")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool size for the grid evaluation (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*paperGrid, *fig4Only, *csv, *baseline, *series); err != nil {
+	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(paperGrid, fig4Only, csv, baseline, series bool) error {
+// run renders the full report into in-memory builders and flushes each
+// with a single checked write, so no Fprint error is silently dropped.
+func run(cfg config, out, errOut io.Writer) error {
+	var body, warn strings.Builder
+	if err := render(cfg, &body, &warn); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(out, body.String()); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
+	if warn.Len() > 0 {
+		if _, err := io.WriteString(errOut, warn.String()); err != nil {
+			return fmt.Errorf("writing warnings: %w", err)
+		}
+	}
+	return nil
+}
+
+func render(cfg config, out, errOut *strings.Builder) error {
 	// Fig. 4: the representative male_simple instance.
 	fig4 := usecases.Fig4Instance()
 	d, err := core.Generate(fig4.Spec)
@@ -51,8 +89,8 @@ func run(paperGrid, fig4Only, csv, baseline, series bool) error {
 	if err != nil {
 		return fmt.Errorf("fig4 validate: %w", err)
 	}
-	fmt.Println(report.FormatFig4(rep))
-	if baseline {
+	fmt.Fprintln(out, report.FormatFig4(rep))
+	if cfg.baseline {
 		nd, err := core.GenerateNaive(fig4.Spec)
 		if err != nil {
 			return fmt.Errorf("baseline generate: %w", err)
@@ -61,93 +99,55 @@ func run(paperGrid, fig4Only, csv, baseline, series bool) error {
 		if err != nil {
 			return fmt.Errorf("baseline validate: %w", err)
 		}
-		fmt.Printf("baseline (no pressure correction): flow dev avg %.1f%% max %.1f%% | perf dev avg %.1f%% max %.1f%%\n",
+		fmt.Fprintf(out, "baseline (no pressure correction): flow dev avg %.1f%% max %.1f%% | perf dev avg %.1f%% max %.1f%%\n",
 			nrep.AvgFlowDeviation*100, nrep.MaxFlowDeviation*100,
 			nrep.AvgPerfDeviation*100, nrep.MaxPerfDeviation*100)
-		fmt.Printf("method value: worst flow deviation improves %.0f× (%.1f%% → %.2f%%)\n\n",
+		fmt.Fprintf(out, "method value: worst flow deviation improves %.0f× (%.1f%% → %.2f%%)\n\n",
 			nrep.MaxFlowDeviation/rep.MaxFlowDeviation,
 			nrep.MaxFlowDeviation*100, rep.MaxFlowDeviation*100)
 	}
-	if fig4Only {
+	if cfg.fig4Only {
 		return nil
 	}
 
 	sweep := usecases.ExtendedSweep()
 	gridName := "extended 3×3×4 grid (288 instances)"
-	if paperGrid {
+	if cfg.paperGrid {
 		sweep = usecases.PaperSweep()
 		gridName = "paper 3×3×3 grid (216 instances)"
 	}
 	cases := usecases.All()
-	fmt.Printf("Table I — %d use cases on the %s\n\n", len(cases), gridName)
+	fmt.Fprintf(out, "Table I — %d use cases on the %s\n\n", len(cases), gridName)
 
-	type result struct {
-		useCase string
-		rep     *sim.Report
-		err     error
-	}
 	instances := usecases.Instances(cases, sweep)
-	results := make([]result, len(instances))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, in := range instances {
-		wg.Add(1)
-		go func(i int, in usecases.Instance) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			d, err := core.Generate(in.Spec)
-			if err != nil {
-				results[i] = result{useCase: in.UseCase, err: fmt.Errorf("%s: generate: %w", in.Label(), err)}
-				return
-			}
-			rep, err := sim.Validate(d, sim.Options{})
-			if err != nil {
-				results[i] = result{useCase: in.UseCase, err: fmt.Errorf("%s: validate: %w", in.Label(), err)}
-				return
-			}
-			results[i] = result{useCase: in.UseCase, rep: rep}
-		}(i, in)
+	reps, evalErr := eval.Grid(instances, cfg.workers, sim.Options{})
+	if evalErr != nil {
+		// Every per-instance failure, joined in index order; failed
+		// instances are also counted in their use case's table row.
+		fmt.Fprintln(errOut, "warning: instance failures:")
+		fmt.Fprintln(errOut, evalErr)
 	}
-	wg.Wait()
 
-	var tbl report.Table
-	for _, uc := range cases {
-		var reps []*sim.Report
-		failures := 0
-		for _, r := range results {
-			if r.useCase != uc.Name {
-				continue
-			}
-			if r.err != nil {
-				failures++
-				fmt.Fprintln(os.Stderr, "warning:", r.err)
-				continue
-			}
-			reps = append(reps, r.rep)
-		}
-		tbl.Rows = append(tbl.Rows, report.Aggregate(uc.Name, uc.ModuleCount, reps, failures))
-	}
-	tbl.Sort()
-	if csv {
-		fmt.Print(tbl.CSV())
+	tbl := eval.Table(cases, instances, reps)
+	if cfg.csv {
+		fmt.Fprint(out, tbl.CSV())
 	} else {
-		fmt.Print(tbl.Format())
+		fmt.Fprint(out, tbl.Format())
 	}
 
-	if series {
-		fmt.Println()
+	if cfg.series {
+		fmt.Fprintln(out)
 		var spacing, visc, shear []float64
-		var reps []*sim.Report
-		for i, r := range results {
-			if r.rep == nil {
+		var seriesReps []*sim.Report
+		for i, rep := range reps {
+			if rep == nil {
 				continue
 			}
 			in := instances[i]
 			spacing = append(spacing, in.Spacing.Metres())
 			visc = append(visc, float64(in.Fluid.Viscosity))
 			shear = append(shear, float64(in.Shear))
-			reps = append(reps, r.rep)
+			seriesReps = append(seriesReps, rep)
 		}
 		for _, def := range []struct {
 			name string
@@ -157,11 +157,11 @@ func run(paperGrid, fig4Only, csv, baseline, series bool) error {
 			{"viscosity [Pa.s]", visc},
 			{"shear [Pa]", shear},
 		} {
-			s, err := report.AggregateSeries(def.name, def.keys, reps)
+			s, err := report.AggregateSeries(def.name, def.keys, seriesReps)
 			if err != nil {
 				return err
 			}
-			fmt.Println(report.FormatSeries(s))
+			fmt.Fprintln(out, report.FormatSeries(s))
 		}
 	}
 	return nil

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParallelOutputByteIdentical: `oocbench -csv` must print the same
+// bytes whether the grid is evaluated serially or on the pool — the
+// determinism guarantee the evaluation pipeline advertises. The paper
+// grid (216 instances) keeps the test fast while still exercising
+// every use case.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	render := func(workers int) (string, string) {
+		var out, errOut bytes.Buffer
+		cfg := config{paperGrid: true, csv: true, workers: workers}
+		if err := run(cfg, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), errOut.String()
+	}
+	serialOut, serialErr := render(1)
+	if serialErr != "" {
+		t.Fatalf("unexpected warnings on the serial run:\n%s", serialErr)
+	}
+	if !strings.Contains(serialOut, "Table I") {
+		t.Fatal("serial run did not render Table I")
+	}
+	for _, workers := range []int{0, 4} {
+		parOut, parErr := render(workers)
+		if parErr != "" {
+			t.Fatalf("unexpected warnings with %d workers:\n%s", workers, parErr)
+		}
+		if parOut != serialOut {
+			t.Fatalf("output with workers=%d differs from the serial run", workers)
+		}
+	}
+}
+
+// TestCSVAndTableShareAggregation: the -csv switch must change only
+// the rendering, not the evaluated data.
+func TestCSVAndTableShareAggregation(t *testing.T) {
+	var csvOut, tblOut, errOut bytes.Buffer
+	if err := run(config{paperGrid: true, csv: true, workers: 0}, &csvOut, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{paperGrid: true, workers: 0}, &tblOut, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// Both outputs carry every use-case name.
+	for _, name := range []string{"male_simple", "female_simple", "male_gi_tract", "male_kidney", "generic1", "generic4"} {
+		if !strings.Contains(csvOut.String(), name) {
+			t.Errorf("CSV output lacks %s", name)
+		}
+		if !strings.Contains(tblOut.String(), name) {
+			t.Errorf("table output lacks %s", name)
+		}
+	}
+}
+
+// TestFig4Only: -fig4 must stop before the grid evaluation.
+func TestFig4Only(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(config{fig4Only: true}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Table I") {
+		t.Fatal("-fig4 must not evaluate the grid")
+	}
+}

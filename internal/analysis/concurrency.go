@@ -19,22 +19,40 @@ import (
 //     solver goes parallel. Writes in functions that visibly take a
 //     lock (any call to a method named Lock/RLock in the same body)
 //     are accepted.
+//
+// The shared worker pool in internal/parallel is the repo's
+// sanctioned concurrency substrate: its `go` statements are the pool's
+// own machinery (bounded, joined, race-test-covered), so the
+// loop-capture rule does not apply inside that package. Everything
+// else should reach concurrency through the pool rather than raw
+// goroutines, and remains fully checked.
 var ConcurrencyAnalyzer = &Analyzer{
 	Name: "concurrency",
-	Doc:  "flag loop-variable capture in go/defer closures and unguarded writes to package-level state",
+	Doc:  "flag loop-variable capture in go/defer closures and unguarded writes to package-level state (the internal/parallel pool is exempt)",
 	Run:  runConcurrency,
+}
+
+// isPoolPackage reports whether path is the shared worker pool,
+// whose internal goroutines the concurrency rule recognizes and
+// exempts.
+func isPoolPackage(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	return path == "internal/parallel" || strings.HasSuffix(path, "/internal/parallel")
 }
 
 func runConcurrency(pass *Pass) {
 	info := pass.Pkg.Info
+	inPool := isPoolPackage(pass.Pkg.Path)
 	for i, f := range pass.Pkg.Files {
 		isTest := strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go")
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.RangeStmt:
-				checkLoopCapture(pass, loopVars(info, n.Key, n.Value), n.Body)
+				if !inPool {
+					checkLoopCapture(pass, loopVars(info, n.Key, n.Value), n.Body)
+				}
 			case *ast.ForStmt:
-				if init, ok := n.Init.(*ast.AssignStmt); ok {
+				if init, ok := n.Init.(*ast.AssignStmt); ok && !inPool {
 					var vars []types.Object
 					for _, lhs := range init.Lhs {
 						if id, ok := lhs.(*ast.Ident); ok {

@@ -1,0 +1,22 @@
+// Package parallel is a fixture standing in for the repo's shared
+// worker pool. Its go-closure below captures the loop variable w —
+// exactly the pattern the concurrency rule flags everywhere else —
+// but the rule recognizes internal/parallel as the sanctioned pool
+// package and stays silent. The golden file proves it: this fixture
+// contributes zero diagnostics.
+package parallel
+
+import "sync"
+
+// Fan runs fn once per worker through the pool's own goroutines.
+func Fan(workers int, fn func(w int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(w)
+		}()
+	}
+	wg.Wait()
+}

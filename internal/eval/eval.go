@@ -1,0 +1,66 @@
+// Package eval drives the paper's evaluation grid (Sec. IV): generate
+// and validate every instance of the use-case × parameter sweep and
+// aggregate the per-use-case Table I rows.
+//
+// It is the one implementation shared by cmd/oocbench, the
+// BenchmarkTableI* cases and the determinism tests, so every consumer
+// gets the same guarantees: instances are fanned out through
+// internal/parallel, results are collected in instance-index order,
+// and every per-instance failure is preserved and joined in index
+// order — the output is byte-identical for any worker count.
+package eval
+
+import (
+	"fmt"
+
+	"ooc/internal/core"
+	"ooc/internal/parallel"
+	"ooc/internal/report"
+	"ooc/internal/sim"
+	"ooc/internal/usecases"
+)
+
+// Grid generates and validates every instance using at most workers
+// concurrent evaluations (workers ≤ 0 selects GOMAXPROCS). The
+// returned slice is indexed like instances; reps[i] is nil exactly
+// when instance i failed, and the error joins every per-instance
+// failure in index order (nil when all succeed).
+func Grid(instances []usecases.Instance, workers int, opt sim.Options) ([]*sim.Report, error) {
+	return parallel.Map(len(instances), workers, func(i int) (*sim.Report, error) {
+		in := instances[i]
+		d, err := core.Generate(in.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: generate: %w", in.Label(), err)
+		}
+		rep, err := sim.Validate(d, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: validate: %w", in.Label(), err)
+		}
+		return rep, nil
+	})
+}
+
+// Table aggregates Grid results into the per-use-case Table I. reps
+// must be indexed like instances (nil entries count as failures of
+// their instance's use case). Aggregation iterates instances in index
+// order, so the table is independent of how the grid was scheduled.
+func Table(cases []usecases.UseCase, instances []usecases.Instance, reps []*sim.Report) report.Table {
+	var tbl report.Table
+	for _, uc := range cases {
+		var ucReps []*sim.Report
+		failures := 0
+		for i, in := range instances {
+			if in.UseCase != uc.Name {
+				continue
+			}
+			if reps[i] == nil {
+				failures++
+				continue
+			}
+			ucReps = append(ucReps, reps[i])
+		}
+		tbl.Rows = append(tbl.Rows, report.Aggregate(uc.Name, uc.ModuleCount, ucReps, failures))
+	}
+	tbl.Sort()
+	return tbl
+}

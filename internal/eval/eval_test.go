@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"ooc/internal/sim"
+	"ooc/internal/usecases"
+)
+
+// smallGrid keeps unit tests fast: two use cases over a 1×1×2 sweep.
+func smallGrid() ([]usecases.UseCase, []usecases.Instance) {
+	all := usecases.All()
+	cases := all[:2]
+	sweep := usecases.PaperSweep()
+	sweep.Viscosities = sweep.Viscosities[:1]
+	sweep.Shears = sweep.Shears[:1]
+	sweep.Spacings = sweep.Spacings[:2]
+	return cases, usecases.Instances(cases, sweep)
+}
+
+func TestGridFillsEveryIndex(t *testing.T) {
+	cases, instances := smallGrid()
+	reps, err := Grid(instances, 0, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(instances) {
+		t.Fatalf("got %d reports for %d instances", len(reps), len(instances))
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("instance %d (%s) unexpectedly failed", i, instances[i].Label())
+		}
+	}
+	tbl := Table(cases, instances, reps)
+	if len(tbl.Rows) != len(cases) {
+		t.Fatalf("table has %d rows, want %d", len(tbl.Rows), len(cases))
+	}
+}
+
+// TestGridByteIdenticalAcrossWorkers: the rendered table — the actual
+// deliverable — must not depend on the worker count.
+func TestGridByteIdenticalAcrossWorkers(t *testing.T) {
+	cases, instances := smallGrid()
+	render := func(workers int) (string, string) {
+		reps, err := Grid(instances, workers, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := Table(cases, instances, reps)
+		return tbl.CSV(), tbl.Format()
+	}
+	csv1, fmt1 := render(1)
+	for _, workers := range []int{2, 8} {
+		csvN, fmtN := render(workers)
+		if csvN != csv1 {
+			t.Fatalf("CSV output differs between 1 and %d workers", workers)
+		}
+		if fmtN != fmt1 {
+			t.Fatalf("formatted output differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestGridAggregatesAllFailures: a failing instance must not abort the
+// grid, must surface in the joined error, and must be counted against
+// its own use case only.
+func TestGridAggregatesAllFailures(t *testing.T) {
+	cases, instances := smallGrid()
+	// Poison two instances of the first use case with an impossible
+	// fluid; the rest must still evaluate.
+	poisoned := 0
+	for i := range instances {
+		if instances[i].UseCase == cases[0].Name && poisoned < 2 {
+			instances[i].Spec.Fluid.Viscosity = -1
+			poisoned++
+		}
+	}
+	if poisoned != 2 {
+		t.Fatal("test setup: expected two poisoned instances")
+	}
+	reps, err := Grid(instances, 4, sim.Options{})
+	if err == nil {
+		t.Fatal("want joined error for poisoned instances")
+	}
+	if n := strings.Count(err.Error(), "\n") + 1; n != 2 {
+		t.Fatalf("joined error reports %d failures, want 2:\n%v", n, err)
+	}
+	tbl := Table(cases, instances, reps)
+	for _, row := range tbl.Rows {
+		t.Logf("row %+v", row)
+	}
+	// The healthy use case must have a full row.
+	for i, rep := range reps {
+		healthy := instances[i].UseCase == cases[1].Name
+		if healthy && rep == nil {
+			t.Fatalf("healthy instance %d failed", i)
+		}
+	}
+}

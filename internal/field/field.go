@@ -28,6 +28,7 @@ import (
 	"ooc/internal/core"
 	"ooc/internal/fluid"
 	"ooc/internal/geometry"
+	"ooc/internal/parallel"
 	"ooc/internal/units"
 )
 
@@ -41,6 +42,12 @@ type Options struct {
 	Tol float64
 	// MaxIter bounds SOR iterations; zero selects 40·(nx+ny).
 	MaxIter int
+	// Workers bounds the goroutines used for the per-channel
+	// cross-section factors and the row-parallel Laplacian sweeps;
+	// ≤ 0 selects GOMAXPROCS. The solve is bit-identical for every
+	// worker count: parallel stages own disjoint rows and every
+	// floating-point reduction stays serial.
+	Workers int
 }
 
 // Field is a solved depth-averaged flow field.
@@ -131,9 +138,16 @@ func Solve(d *core.Design, opt Options) (*Field, error) {
 	// wins — junctions are locally wider than either channel.
 	h := float64(d.Resolved.Geometry.ChannelHeight)
 	mu := float64(d.Resolved.Spec.Fluid.Viscosity)
-	for _, c := range d.Channels {
+	workers := parallel.Workers(opt.Workers)
+	// Per-channel cross-section factors through the shared pool; the
+	// raster pass below stays serial because channel footprints
+	// overlap at junctions.
+	kfs, _ := parallel.Map(len(d.Channels), workers, func(i int) (float64, error) {
+		return wallFactor(d.Channels[i].Cross, units.Viscosity(mu)), nil
+	})
+	for ci, c := range d.Channels {
 		hw := float64(c.Cross.Width) / 2
-		kf := wallFactor(c.Cross, units.Viscosity(mu))
+		kf := kfs[ci]
 		for _, seg := range c.Path.Segments() {
 			r := seg.Expand(hw)
 			i0 := int(math.Floor((r.Min.X - origin.X) / cell))
@@ -277,23 +291,32 @@ func Solve(d *core.Design, opt Options) (*Field, error) {
 		}
 	}
 
+	// The masked Laplacian is applied row-parallel through the shared
+	// pool: each row of y is owned by exactly one worker and x is
+	// read-only, so the result is bit-identical to a serial sweep for
+	// any worker count. The inner products and axpy updates of CG stay
+	// serial — keeping every floating-point reduction in a fixed order
+	// keeps the whole solve deterministic.
 	applyA := func(x, y []float64) {
-		for j := 1; j < ny-1; j++ {
-			for i := 1; i < nx-1; i++ {
-				idx := f.index(i, j)
-				if !f.Mask[idx] {
-					y[idx] = 0
-					continue
-				}
-				var acc float64
-				for _, nb := range [4]int{idx - 1, idx + 1, idx - nx, idx + nx} {
-					if f.Mask[nb] {
-						acc += f.faceG(idx, nb) * (x[idx] - x[nb])
+		parallel.Rows(ny-2, workers, func(lo, hi int) {
+			for jj := lo; jj < hi; jj++ {
+				j := jj + 1
+				for i := 1; i < nx-1; i++ {
+					idx := f.index(i, j)
+					if !f.Mask[idx] {
+						y[idx] = 0
+						continue
 					}
+					var acc float64
+					for _, nb := range [4]int{idx - 1, idx + 1, idx - nx, idx + nx} {
+						if f.Mask[nb] {
+							acc += f.faceG(idx, nb) * (x[idx] - x[nb])
+						}
+					}
+					y[idx] = acc
 				}
-				y[idx] = acc
 			}
-		}
+		})
 	}
 	projectConstant := func(v []float64) {
 		var mean float64

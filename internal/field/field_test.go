@@ -178,3 +178,27 @@ func TestSolveValidation(t *testing.T) {
 		t.Fatal("absurdly fine raster accepted (memory guard)")
 	}
 }
+
+// TestSolveWorkersBitIdentical: the field solve must produce identical
+// bits for every worker count — the parallel stages own disjoint rows
+// and all reductions stay serial.
+func TestSolveWorkersBitIdentical(t *testing.T) {
+	d := fig4Design(t)
+	serial, err := Solve(d, Options{CellSize: 350e-6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(d, Options{CellSize: 350e-6, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != par.Iterations {
+		t.Fatalf("iteration count diverged: %d vs %d", serial.Iterations, par.Iterations)
+	}
+	for idx := range serial.P {
+		//ooclint:ignore floatcmp bit-identity across worker counts is the property under test
+		if serial.P[idx] != par.P[idx] || serial.Speed[idx] != par.Speed[idx] {
+			t.Fatalf("cell %d diverged between worker counts", idx)
+		}
+	}
+}

@@ -77,6 +77,15 @@ func (cs CrossSection) AspectRatio() float64 {
 	return float64(cs.Height) / float64(cs.Width)
 }
 
+// NormalizedAspect returns w/h ≥ 1 for a valid (wide) cross-section —
+// the similarity class of the section. Two cross-sections with equal
+// NormalizedAspect pose geometrically similar duct-flow problems whose
+// solutions differ only by the h⁴ scaling of the velocity integral;
+// internal/sim keys its cross-section solve cache on this value.
+func (cs CrossSection) NormalizedAspect() float64 {
+	return float64(cs.Width) / float64(cs.Height)
+}
+
 // HydraulicDiameter returns D_h = 2wh/(w+h).
 func (cs CrossSection) HydraulicDiameter() units.Length {
 	w := float64(cs.Width)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"ooc/internal/parallel"
 )
 
 // ErrNoConvergence is returned when an iterative solver exhausts its
@@ -20,12 +22,14 @@ type Grid2D struct {
 	V      []float64
 }
 
-// NewGrid2D returns a zero grid with nx×ny cells.
-func NewGrid2D(nx, ny int) *Grid2D {
+// NewGrid2D returns a zero grid with nx×ny cells. Like every other
+// constructor in this package it reports invalid sizes as an error
+// rather than panicking.
+func NewGrid2D(nx, ny int) (*Grid2D, error) {
 	if nx <= 0 || ny <= 0 {
-		panic(fmt.Sprintf("linalg: invalid grid size %dx%d", nx, ny))
+		return nil, fmt.Errorf("%w: invalid grid size %dx%d", ErrShape, nx, ny)
 	}
-	return &Grid2D{Nx: nx, Ny: ny, V: make([]float64, nx*ny)}
+	return &Grid2D{Nx: nx, Ny: ny, V: make([]float64, nx*ny)}, nil
 }
 
 // At returns the value at column i, row j.
@@ -35,16 +39,45 @@ func (g *Grid2D) At(i, j int) float64 { return g.V[j*g.Nx+i] }
 func (g *Grid2D) Set(i, j int, v float64) { g.V[j*g.Nx+i] = v }
 
 // SORPoissonOptions configures SolvePoissonSOR.
+//
+// The zero value requests an exact-convergence run: iterate until an
+// entire sweep changes nothing (Tol 0) within the automatic iteration
+// budget. Use DefaultSORPoissonOptions for the practical defaults the
+// solver historically applied to the zero value.
 type SORPoissonOptions struct {
 	// Omega is the over-relaxation factor in (0, 2). Zero selects the
-	// near-optimal value for a Laplacian on the given grid.
+	// near-optimal value for a Laplacian on the given grid (zero is
+	// never a valid relaxation factor, so it is safe as a sentinel).
 	Omega float64
 	// Tol is the max-norm update tolerance relative to the largest
-	// solution magnitude. Zero selects 1e-10.
+	// solution magnitude. Tol 0 demands exact convergence (a sweep
+	// whose largest update is exactly zero); negative or NaN values
+	// are rejected.
 	Tol float64
-	// MaxIter bounds the iteration count. Zero selects 100·(Nx+Ny).
+	// MaxIter bounds the iteration count; values ≤ 0 select the
+	// automatic budget 100·(Nx+Ny).
 	MaxIter int
+	// Workers bounds the goroutines used by the parallel red-black
+	// sweep on large grids; ≤ 0 selects GOMAXPROCS. The sweep
+	// ordering — and therefore the numerical result — depends only on
+	// the grid, never on Workers.
+	Workers int
 }
+
+// DefaultSORPoissonOptions returns the solver's practical defaults:
+// automatic omega, Tol 1e-10, automatic iteration budget. Earlier
+// revisions conflated these defaults with the zero value of
+// SORPoissonOptions, which made an explicit Tol 0 (exact convergence)
+// unrequestable; callers that want the defaults must now say so.
+func DefaultSORPoissonOptions() SORPoissonOptions {
+	return SORPoissonOptions{Tol: 1e-10}
+}
+
+// redBlackThreshold is the cell count above which SolvePoissonSOR
+// switches from the serial lexicographic sweep to the red-black
+// ordered sweep that internal/parallel can partition across rows.
+// Below it the parallel bookkeeping costs more than it buys.
+const redBlackThreshold = 1 << 15
 
 // SolvePoissonSOR solves the interior of the Poisson problem
 //
@@ -54,6 +87,15 @@ type SORPoissonOptions struct {
 // using successive over-relaxation. It returns the number of iterations
 // performed. The grid g provides the initial guess and receives the
 // solution; f must have the same shape as g.
+//
+// Grids with at least redBlackThreshold cells are swept in red-black
+// order, which removes the loop-carried dependency of the
+// lexicographic sweep and lets the pool in internal/parallel update
+// each color concurrently by row blocks. The red-black result is
+// bit-deterministic — it depends on the grid and options only, not on
+// the worker count or goroutine schedule — but it is a different
+// relaxation ordering, so its rounding differs from the serial sweep
+// at the tolerance level.
 //
 // This is the numerical core of the duct-flow "CFD-lite" validator:
 // fully developed laminar flow in a rectangular channel obeys
@@ -79,11 +121,11 @@ func SolvePoissonSOR(g *Grid2D, f []float64, hx, hy float64, opt SORPoissonOptio
 		return 0, fmt.Errorf("linalg: SOR omega %g out of (0,2)", omega)
 	}
 	tol := opt.Tol
-	if tol == 0 {
-		tol = 1e-10
+	if tol < 0 || math.IsNaN(tol) {
+		return 0, fmt.Errorf("linalg: invalid SOR tolerance %g", tol)
 	}
 	maxIter := opt.MaxIter
-	if maxIter == 0 {
+	if maxIter <= 0 {
 		maxIter = 100 * (nx + ny)
 	}
 
@@ -91,6 +133,16 @@ func SolvePoissonSOR(g *Grid2D, f []float64, hx, hy float64, opt SORPoissonOptio
 	ihy2 := 1 / (hy * hy)
 	diag := 2 * (ihx2 + ihy2)
 
+	if nx*ny >= redBlackThreshold {
+		return solveSORRedBlack(g, f, ihx2, ihy2, diag, omega, tol, maxIter, opt.Workers)
+	}
+	return solveSORLex(g, f, ihx2, ihy2, diag, omega, tol, maxIter)
+}
+
+// solveSORLex is the classic serial lexicographic Gauss-Seidel SOR
+// sweep.
+func solveSORLex(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter int) (int, error) {
+	nx, ny := g.Nx, g.Ny
 	for it := 1; it <= maxIter; it++ {
 		var maxUpd, maxVal float64
 		for j := 1; j < ny-1; j++ {
@@ -106,6 +158,69 @@ func SolvePoissonSOR(g *Grid2D, f []float64, hx, hy float64, opt SORPoissonOptio
 				if a := math.Abs(g.V[k]); a > maxVal {
 					maxVal = a
 				}
+			}
+		}
+		if maxVal == 0 {
+			maxVal = 1
+		}
+		if maxUpd <= tol*maxVal {
+			return it, nil
+		}
+	}
+	return maxIter, ErrNoConvergence
+}
+
+// solveSORRedBlack sweeps the grid in red-black (checkerboard) order:
+// first every cell with even i+j, then every cell with odd i+j. Cells
+// of one color depend only on the other color, so all updates within
+// a color pass are independent — each row can be relaxed on any
+// worker, in any schedule, and produce identical bits. Convergence
+// statistics are reduced per row and combined with max(), which is
+// order-insensitive, so the returned iteration count is deterministic
+// too.
+func solveSORRedBlack(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter, workers int) (int, error) {
+	nx, ny := g.Nx, g.Ny
+	workers = parallel.Workers(workers)
+	rowUpd := make([]float64, ny)
+	rowVal := make([]float64, ny)
+	sweep := func(color int) {
+		parallel.Rows(ny-2, workers, func(lo, hi int) {
+			for jj := lo; jj < hi; jj++ {
+				j := jj + 1
+				row := j * nx
+				// First interior column of this color: i ≥ 1 with
+				// (i+j) % 2 == color.
+				i0 := 1 + (color+j+1)%2
+				maxUpd, maxVal := rowUpd[j], rowVal[j]
+				for i := i0; i < nx-1; i += 2 {
+					k := row + i
+					gs := (ihx2*(g.V[k-1]+g.V[k+1]) + ihy2*(g.V[k-nx]+g.V[k+nx]) + f[k]) / diag
+					upd := omega * (gs - g.V[k])
+					g.V[k] += upd
+					if a := math.Abs(upd); a > maxUpd {
+						maxUpd = a
+					}
+					if a := math.Abs(g.V[k]); a > maxVal {
+						maxVal = a
+					}
+				}
+				rowUpd[j], rowVal[j] = maxUpd, maxVal
+			}
+		})
+	}
+	for it := 1; it <= maxIter; it++ {
+		for j := range rowUpd {
+			rowUpd[j], rowVal[j] = 0, 0
+		}
+		sweep(0)
+		sweep(1)
+		var maxUpd, maxVal float64
+		for j := 1; j < ny-1; j++ {
+			if rowUpd[j] > maxUpd {
+				maxUpd = rowUpd[j]
+			}
+			if rowVal[j] > maxVal {
+				maxVal = rowVal[j]
 			}
 		}
 		if maxVal == 0 {

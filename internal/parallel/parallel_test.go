@@ -1,0 +1,166 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	if err := ForEach(n, 7, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForEachAggregatesAllErrorsInIndexOrder(t *testing.T) {
+	err := ForEach(10, 4, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	// errors.Join renders one line per error; index order must hold
+	// regardless of completion order.
+	want := "task 0 failed\ntask 3 failed\ntask 6 failed\ntask 9 failed"
+	if err.Error() != want {
+		t.Fatalf("error aggregation:\ngot  %q\nwant %q", err.Error(), want)
+	}
+}
+
+func TestForEachErrorsAreUnwrappable(t *testing.T) {
+	mark := errors.New("marker")
+	err := ForEach(5, 2, func(i int) error {
+		if i == 3 {
+			return fmt.Errorf("wrapping: %w", mark)
+		}
+		return nil
+	})
+	if !errors.Is(err, mark) {
+		t.Fatalf("joined error lost the cause chain: %v", err)
+	}
+}
+
+func TestForEachEmptyAndSerial(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal("empty work list must not invoke fn")
+	}
+	var order []int
+	if err := ForEach(5, 1, func(i int) error {
+		order = append(order, i) // serial path: no race on the slice
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial path must run in index order, got %v", order)
+		}
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := Map(100, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d holds %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapFailedIndexHoldsZeroValue(t *testing.T) {
+	got, err := Map(4, 2, func(i int) (string, error) {
+		if i == 2 {
+			return "poison", errors.New("boom")
+		}
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want boom, got %v", err)
+	}
+	want := []string{"v0", "v1", "", "v3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRowsCoversRangeWithDisjointBlocks(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16, 0} {
+		const n = 97
+		covered := make([]atomic.Int32, n)
+		Rows(n, workers, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("workers=%d: empty block [%d,%d)", workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if got := covered[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: row %d covered %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("auto worker count must be positive")
+	}
+}
+
+// TestDeterministicUnderLoad runs the same fan-out with many worker
+// counts and checks the collected output is identical — the property
+// the evaluation pipeline's byte-identical CSV guarantee rests on.
+func TestDeterministicUnderLoad(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(257, workers, func(i int) (float64, error) {
+			v := 1.0
+			for k := 0; k < 50; k++ {
+				v = v*1.0000001 + float64(i)*1e-9
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 5, 13} {
+		got := run(workers)
+		for i := range ref {
+			//ooclint:ignore floatcmp bit-identity across worker counts is the property under test
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: index %d diverged", workers, i)
+			}
+		}
+	}
+}

@@ -2,44 +2,91 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"ooc/internal/fluid"
 	"ooc/internal/linalg"
 	"ooc/internal/units"
 )
 
-// NumericResistance computes the hydraulic resistance of a straight
-// rectangular channel by solving the fully developed laminar duct-flow
-// problem numerically — a 2D Poisson equation on the cross-section:
+// solveScheme identifies the numeric scheme behind a cached
+// cross-section solve. It is part of the cache key so that future
+// alternative discretizations (e.g. a spectral solve) can coexist
+// without colliding with SOR results.
+type solveScheme uint8
+
+const schemeFDMSOR solveScheme = iota
+
+// crossSectionKey is the memoization key of the cross-section solve
+// cache. The solve is performed on the *normalized* section (unit
+// height, width w/h), so every channel in the same similarity class —
+// the common case in a use-case grid, where all module channels share
+// one aspect ratio — hits the same entry regardless of absolute size.
+type crossSectionKey struct {
+	// aspect is fluid.CrossSection.NormalizedAspect (w/h ≥ 1).
+	aspect float64
+	// n is the grid-resolution parameter of NumericResistance.
+	n int
+	// scheme is the numeric scheme (resistance model) that produced
+	// the entry.
+	scheme solveScheme
+}
+
+// crossSectionCache memoizes normalized velocity integrals. Guarded by
+// a plain mutex: the mapped values are deterministic functions of the
+// key, so a racing miss recomputes bit-identical data and the
+// last-store-wins overwrite is harmless.
+var crossSectionCache = struct {
+	sync.Mutex
+	m map[crossSectionKey]float64
+}{m: make(map[crossSectionKey]float64)}
+
+// ResetCrossSectionCache empties the solve cache. Benchmarks use it to
+// measure cold solves; production code never needs it.
+func ResetCrossSectionCache() {
+	crossSectionCache.Lock()
+	defer crossSectionCache.Unlock()
+	crossSectionCache.m = make(map[crossSectionKey]float64)
+}
+
+// CrossSectionCacheSize reports the number of memoized solves.
+func CrossSectionCacheSize() int {
+	crossSectionCache.Lock()
+	defer crossSectionCache.Unlock()
+	return len(crossSectionCache.m)
+}
+
+// lookupCrossSection returns the cached normalized integral for key.
+func lookupCrossSection(key crossSectionKey) (float64, bool) {
+	crossSectionCache.Lock()
+	defer crossSectionCache.Unlock()
+	v, ok := crossSectionCache.m[key]
+	return v, ok
+}
+
+// storeCrossSection memoizes a normalized integral.
+func storeCrossSection(key crossSectionKey, v float64) {
+	crossSectionCache.Lock()
+	defer crossSectionCache.Unlock()
+	crossSectionCache.m[key] = v
+}
+
+// normalizedIntegral solves the normalized duct problem ∇²u = −1 on
+// the unit-height rectangle [0, aspect] × [0, 1] and returns the
+// velocity integral ∫∫u dA. The physical integral over a w×h section
+// with w/h = aspect is h⁴ times this value (u scales with the square
+// of length, the area element with another square).
 //
-//	∂²w/∂y² + ∂²w/∂z² = −G/µ,   w = 0 on the walls,
-//
-// where w is the axial velocity and G = ΔP/L the pressure gradient.
-// Integrating w over the cross-section yields Q and hence
-// R = ΔP/Q = µ·L / ∫∫ u dA for the normalized problem ∇²u = −1.
-//
-// This is the "CFD-lite" leg of the validation pipeline: an
-// independent numerical solution of the same physics OpenFOAM resolves
-// for straight channels, used to validate both analytic resistance
-// models (see the package tests, which reproduce the paper's
-// observation that Eq. 6 is only an approximation).
-//
-// n sets the grid resolution across the channel height (the width gets
-// proportionally more cells); n ≥ 8 required.
-func NumericResistance(cs fluid.CrossSection, length units.Length, mu units.Viscosity, n int) (units.HydraulicResistance, error) {
-	if err := cs.Validate(); err != nil {
-		return 0, err
+// The solve itself is bit-deterministic (see SolvePoissonSOR), so a
+// cache hit is bit-identical to recomputing — the cache is invisible
+// in results.
+func normalizedIntegral(key crossSectionKey) (float64, error) {
+	if v, ok := lookupCrossSection(key); ok {
+		return v, nil
 	}
-	if length <= 0 || mu <= 0 {
-		return 0, fmt.Errorf("sim: non-positive length or viscosity")
-	}
-	if n < 8 {
-		return 0, fmt.Errorf("sim: grid resolution %d too coarse (need ≥ 8)", n)
-	}
-	w := float64(cs.Width)
-	h := float64(cs.Height)
+	aspect, n := key.aspect, key.n
 	ny := n + 1
-	nx := int(float64(n)*w/h) + 1
+	nx := int(float64(n)*aspect) + 1
 	if nx < 9 {
 		nx = 9
 	}
@@ -49,10 +96,13 @@ func NumericResistance(cs fluid.CrossSection, length units.Length, mu units.Visc
 	if nx > 4097 {
 		nx = 4097
 	}
-	hx := w / float64(nx-1)
-	hy := h / float64(ny-1)
+	hx := aspect / float64(nx-1)
+	hy := 1 / float64(ny-1)
 
-	g := linalg.NewGrid2D(nx, ny)
+	g, err := linalg.NewGrid2D(nx, ny)
+	if err != nil {
+		return 0, fmt.Errorf("sim: cross-section grid: %w", err)
+	}
 	f := make([]float64, nx*ny)
 	for i := range f {
 		f[i] = 1 // normalized source: ∇²u = −1
@@ -73,5 +123,52 @@ func NumericResistance(cs fluid.CrossSection, length units.Length, mu units.Visc
 	if integral <= 0 {
 		return 0, fmt.Errorf("sim: degenerate cross-section integral")
 	}
-	return units.HydraulicResistance(float64(mu) * float64(length) / integral), nil
+	storeCrossSection(key, integral)
+	return integral, nil
+}
+
+// NumericResistance computes the hydraulic resistance of a straight
+// rectangular channel by solving the fully developed laminar duct-flow
+// problem numerically — a 2D Poisson equation on the cross-section:
+//
+//	∂²w/∂y² + ∂²w/∂z² = −G/µ,   w = 0 on the walls,
+//
+// where w is the axial velocity and G = ΔP/L the pressure gradient.
+// Integrating w over the cross-section yields Q and hence
+// R = ΔP/Q = µ·L / ∫∫ u dA for the normalized problem ∇²u = −1.
+//
+// This is the "CFD-lite" leg of the validation pipeline: an
+// independent numerical solution of the same physics OpenFOAM resolves
+// for straight channels, used to validate both analytic resistance
+// models (see the package tests, which reproduce the paper's
+// observation that Eq. 6 is only an approximation).
+//
+// The solve runs on the aspect-normalized section and is memoized in
+// a process-wide cache keyed by (normalized aspect ratio, grid
+// resolution, scheme); repeated channels in the same similarity class
+// solve once. Cached and uncached calls return bit-identical results.
+//
+// n sets the grid resolution across the channel height (the width gets
+// proportionally more cells); n ≥ 8 required.
+func NumericResistance(cs fluid.CrossSection, length units.Length, mu units.Viscosity, n int) (units.HydraulicResistance, error) {
+	if err := cs.Validate(); err != nil {
+		return 0, err
+	}
+	if length <= 0 || mu <= 0 {
+		return 0, fmt.Errorf("sim: non-positive length or viscosity")
+	}
+	if n < 8 {
+		return 0, fmt.Errorf("sim: grid resolution %d too coarse (need ≥ 8)", n)
+	}
+	integral, err := normalizedIntegral(crossSectionKey{
+		aspect: cs.NormalizedAspect(),
+		n:      n,
+		scheme: schemeFDMSOR,
+	})
+	if err != nil {
+		return 0, err
+	}
+	h := float64(cs.Height)
+	scale := h * h * h * h // the normalized integral scales with h⁴
+	return units.HydraulicResistance(float64(mu) * float64(length) / (integral * scale)), nil
 }

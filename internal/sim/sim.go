@@ -21,6 +21,7 @@ import (
 	"ooc/internal/core"
 	"ooc/internal/fluid"
 	"ooc/internal/netlist"
+	"ooc/internal/parallel"
 	"ooc/internal/units"
 )
 
@@ -35,7 +36,17 @@ const (
 	// ModelApprox and no bend losses must reproduce the design flows
 	// exactly — the self-consistency check.
 	ModelApprox
+	// ModelNumeric replaces the analytic duct resistance with the FDM
+	// cross-section solve (NumericResistance) — the CFD-lite model.
+	// Per-channel solves go through the process-wide cross-section
+	// solve cache, so the many identical channels of a chip (and of a
+	// whole evaluation grid) solve once per similarity class.
+	ModelNumeric
 )
+
+// defaultNumericResolution is the FDM grid resolution ModelNumeric
+// uses when Options.NumericResolution is zero.
+const defaultNumericResolution = 32
 
 // Options configures Validate.
 type Options struct {
@@ -47,6 +58,28 @@ type Options struct {
 	// DisableJunctionLosses switches off the T-junction branch losses
 	// at taps and module ports (ablation / self-consistency).
 	DisableJunctionLosses bool
+	// NumericResolution is the cross-section grid resolution for
+	// ModelNumeric; zero selects 32. Ignored by the analytic models.
+	NumericResolution int
+	// Workers bounds the goroutines used for the per-channel
+	// resistance computations. Zero selects GOMAXPROCS when the model
+	// actually solves cross-sections numerically (ModelNumeric) and a
+	// serial build otherwise, where per-channel work is too cheap to
+	// amortize fan-out. Results are bit-identical for every worker
+	// count: each channel's resistance is a pure function of the
+	// design, and assembly happens in channel-index order.
+	Workers int
+}
+
+// buildWorkers resolves Options.Workers for the per-channel build.
+func (o Options) buildWorkers() int {
+	if o.Workers != 0 {
+		return parallel.Workers(o.Workers)
+	}
+	if o.Model == ModelNumeric {
+		return parallel.Workers(0)
+	}
+	return 1
 }
 
 // ModuleResult compares one organ module's achieved hydraulics with
@@ -152,7 +185,20 @@ func buildNetwork(d *core.Design, opt Options) (*builtNetwork, error) {
 		degree[d.Channels[i].To]++
 	}
 
-	for i := range d.Channels {
+	if opt.Model != ModelApprox && opt.Model != ModelExact && opt.Model != ModelNumeric {
+		return nil, fmt.Errorf("sim: unknown model %d", int(opt.Model))
+	}
+	numericN := opt.NumericResolution
+	if numericN == 0 {
+		numericN = defaultNumericResolution
+	}
+
+	// Per-channel resistance, including linearized minor losses — a
+	// pure function of the (read-only) design, computed through the
+	// shared pool. The pool collects results in channel-index order
+	// and joins every error, so the build is bit-identical to a serial
+	// one for any worker count.
+	channelResistance := func(i int) (units.HydraulicResistance, error) {
 		c := &d.Channels[i]
 		var (
 			r   units.HydraulicResistance
@@ -163,11 +209,11 @@ func buildNetwork(d *core.Design, opt Options) (*builtNetwork, error) {
 			r, err = fluid.ResistanceApprox(c.Cross, c.Length, mu)
 		case ModelExact:
 			r, err = fluid.ResistanceExact(c.Cross, c.Length, mu)
-		default:
-			return nil, fmt.Errorf("sim: unknown model %d", int(opt.Model))
+		case ModelNumeric:
+			r, err = NumericResistance(c.Cross, c.Length, mu, numericN)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("sim: channel %q: %w", c.Name, err)
+			return 0, fmt.Errorf("sim: channel %q: %w", c.Name, err)
 		}
 
 		// Minor losses, linearized at the design operating point:
@@ -198,8 +244,18 @@ func buildNetwork(d *core.Design, opt Options) (*builtNetwork, error) {
 		if extraDP > 0 && c.DesignFlow > 0 {
 			r += units.HydraulicResistance(extraDP / float64(c.DesignFlow))
 		}
+		return r, nil
+	}
+	resistances, err := parallel.Map(len(d.Channels), opt.buildWorkers(), channelResistance)
+	if err != nil {
+		return nil, err
+	}
 
-		id, err := b.net.AddChannel(c.Name, b.node(c.From), b.node(c.To), r)
+	// Network assembly is serial and in channel-index order: node and
+	// channel IDs must not depend on goroutine scheduling.
+	for i := range d.Channels {
+		c := &d.Channels[i]
+		id, err := b.net.AddChannel(c.Name, b.node(c.From), b.node(c.To), resistances[i])
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}

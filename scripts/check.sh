@@ -10,3 +10,8 @@ go build ./...
 go vet ./...
 go test -race ./...
 go run ./cmd/ooclint ./...
+
+# Smoke-run the headline benchmarks once (-benchtime=1x): catches
+# bit-rot in the parallel evaluation path and the cross-section cache
+# without paying for a full measurement run.
+go test -run '^$' -bench 'BenchmarkTableIParallel|BenchmarkCrossSectionCached' -benchtime=1x .
