@@ -14,6 +14,7 @@
 package ooc_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -111,7 +112,7 @@ func BenchmarkTableIParallel(b *testing.B) {
 	instances := usecases.Instances(cases, usecases.ExtendedSweep())
 	var tbl report.Table
 	for i := 0; i < b.N; i++ {
-		reps, err := eval.Grid(instances, 0, sim.Options{})
+		reps, err := eval.Grid(context.Background(), instances, 0, sim.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -393,7 +394,10 @@ func BenchmarkPerfusionTable(b *testing.B) {
 // BenchmarkLUSolve measures the dense kernel at nodal-analysis sizes.
 func BenchmarkLUSolve(b *testing.B) {
 	n := 40
-	a := linalg.NewMatrix(n, n)
+	a, err := linalg.NewMatrix(n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
 	rhs := make([]float64, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {

@@ -10,6 +10,11 @@
 // instance-index order and every per-instance failure is preserved,
 // so the output is byte-identical for any -workers value.
 //
+// The whole run is context-driven: Ctrl-C (SIGINT/SIGTERM) or an
+// elapsed -timeout budget cancels the evaluation cooperatively, the
+// rows that finished are still printed, and the process exits
+// nonzero with the cancellation cause.
+//
 // Usage:
 //
 //	oocbench              # extended 288-instance grid (matches the paper's count)
@@ -17,17 +22,24 @@
 //	oocbench -fig4        # only the Fig. 4 validation
 //	oocbench -csv         # machine-readable Table I
 //	oocbench -workers 1   # serial evaluation (default: GOMAXPROCS)
+//	oocbench -timeout 30s # per-run deadline budget
+//	oocbench -stats       # numeric-model run with solver/cache telemetry
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"ooc/internal/core"
 	"ooc/internal/eval"
+	"ooc/internal/obs"
 	"ooc/internal/report"
 	"ooc/internal/sim"
 	"ooc/internal/usecases"
@@ -42,6 +54,31 @@ type config struct {
 	baseline  bool
 	series    bool
 	workers   int
+	timeout   time.Duration
+	stats     bool
+	model     string
+}
+
+// simOptions resolves the -model flag. "auto" keeps the historical
+// analytic-exact validation, except under -stats where the numeric
+// model is selected so the telemetry has iterative solves and cache
+// traffic to report.
+func (c config) simOptions() (sim.Options, error) {
+	switch c.model {
+	case "", "auto":
+		if c.stats {
+			return sim.Options{Model: sim.ModelNumeric}, nil
+		}
+		return sim.Options{}, nil
+	case "exact":
+		return sim.Options{}, nil
+	case "approx":
+		return sim.Options{Model: sim.ModelApprox}, nil
+	case "numeric":
+		return sim.Options{Model: sim.ModelNumeric}, nil
+	default:
+		return sim.Options{}, fmt.Errorf("unknown -model %q (want auto, exact, approx or numeric)", c.model)
+	}
 }
 
 func main() {
@@ -52,9 +89,20 @@ func main() {
 	flag.BoolVar(&cfg.baseline, "baseline", false, "also evaluate the no-pressure-correction baseline on the Fig. 4 instance")
 	flag.BoolVar(&cfg.series, "series", false, "also print deviation-vs-parameter data series (spacing, viscosity, shear)")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool size for the grid evaluation (0 = GOMAXPROCS)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "overall deadline for the run (0 = none); on expiry partial results are flushed and the exit status is nonzero")
+	flag.BoolVar(&cfg.stats, "stats", false, "print solver/cache telemetry after the report (selects the numeric resistance model under -model auto)")
+	flag.StringVar(&cfg.model, "model", "auto", "validation resistance model: auto, exact, approx or numeric")
 	flag.Parse()
 
-	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
 		os.Exit(1)
 	}
@@ -62,10 +110,25 @@ func main() {
 
 // run renders the full report into in-memory builders and flushes each
 // with a single checked write, so no Fprint error is silently dropped.
-func run(cfg config, out, errOut io.Writer) error {
-	var body, warn strings.Builder
-	if err := render(cfg, &body, &warn); err != nil {
+// On cancellation the body rendered so far — plus the telemetry
+// summary under -stats — is still flushed before the error is
+// returned, so an aborted run keeps its partial results.
+func run(ctx context.Context, cfg config, out, errOut io.Writer) error {
+	opt, err := cfg.simOptions()
+	if err != nil {
 		return err
+	}
+	if cfg.stats {
+		// A fresh per-run collector (travelling via ctx) keeps the
+		// telemetry scoped to this run; the cache is reset so the
+		// hit/miss counts describe exactly this grid.
+		ctx = obs.WithCollector(ctx, obs.NewCollector())
+		sim.ResetCrossSectionCache()
+	}
+	var body, warn strings.Builder
+	renderErr := render(ctx, cfg, opt, &body, &warn)
+	if cfg.stats {
+		fmt.Fprintf(&body, "\n%s", obs.FromContext(ctx).Snapshot().Format())
 	}
 	if _, err := io.WriteString(out, body.String()); err != nil {
 		return fmt.Errorf("writing report: %w", err)
@@ -75,17 +138,17 @@ func run(cfg config, out, errOut io.Writer) error {
 			return fmt.Errorf("writing warnings: %w", err)
 		}
 	}
-	return nil
+	return renderErr
 }
 
-func render(cfg config, out, errOut *strings.Builder) error {
+func render(ctx context.Context, cfg config, opt sim.Options, out, errOut *strings.Builder) error {
 	// Fig. 4: the representative male_simple instance.
 	fig4 := usecases.Fig4Instance()
 	d, err := core.Generate(fig4.Spec)
 	if err != nil {
 		return fmt.Errorf("fig4 generate: %w", err)
 	}
-	rep, err := sim.Validate(d, sim.Options{})
+	rep, err := sim.ValidateContext(ctx, d, opt)
 	if err != nil {
 		return fmt.Errorf("fig4 validate: %w", err)
 	}
@@ -95,7 +158,7 @@ func render(cfg config, out, errOut *strings.Builder) error {
 		if err != nil {
 			return fmt.Errorf("baseline generate: %w", err)
 		}
-		nrep, err := sim.Validate(nd, sim.Options{})
+		nrep, err := sim.ValidateContext(ctx, nd, opt)
 		if err != nil {
 			return fmt.Errorf("baseline validate: %w", err)
 		}
@@ -120,8 +183,8 @@ func render(cfg config, out, errOut *strings.Builder) error {
 	fmt.Fprintf(out, "Table I — %d use cases on the %s\n\n", len(cases), gridName)
 
 	instances := usecases.Instances(cases, sweep)
-	reps, evalErr := eval.Grid(instances, cfg.workers, sim.Options{})
-	if evalErr != nil {
+	reps, evalErr := eval.Grid(ctx, instances, cfg.workers, opt)
+	if evalErr != nil && ctx.Err() == nil {
 		// Every per-instance failure, joined in index order; failed
 		// instances are also counted in their use case's table row.
 		fmt.Fprintln(errOut, "warning: instance failures:")
@@ -133,6 +196,18 @@ func render(cfg config, out, errOut *strings.Builder) error {
 		fmt.Fprint(out, tbl.CSV())
 	} else {
 		fmt.Fprint(out, tbl.Format())
+	}
+	if err := ctx.Err(); err != nil {
+		// The table above holds whatever subset completed; report the
+		// abort so the exit status reflects the truncated run.
+		done := 0
+		for _, r := range reps {
+			if r != nil {
+				done++
+			}
+		}
+		return fmt.Errorf("partial results: %d of %d instances evaluated before abort: %w",
+			done, len(instances), err)
 	}
 
 	if cfg.series {

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestParallelOutputByteIdentical: `oocbench -csv` must print the same
@@ -15,7 +18,7 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	render := func(workers int) (string, string) {
 		var out, errOut bytes.Buffer
 		cfg := config{paperGrid: true, csv: true, workers: workers}
-		if err := run(cfg, &out, &errOut); err != nil {
+		if err := run(context.Background(), cfg, &out, &errOut); err != nil {
 			t.Fatal(err)
 		}
 		return out.String(), errOut.String()
@@ -42,10 +45,10 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 // the rendering, not the evaluated data.
 func TestCSVAndTableShareAggregation(t *testing.T) {
 	var csvOut, tblOut, errOut bytes.Buffer
-	if err := run(config{paperGrid: true, csv: true, workers: 0}, &csvOut, &errOut); err != nil {
+	if err := run(context.Background(), config{paperGrid: true, csv: true, workers: 0}, &csvOut, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(config{paperGrid: true, workers: 0}, &tblOut, &errOut); err != nil {
+	if err := run(context.Background(), config{paperGrid: true, workers: 0}, &tblOut, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	// Both outputs carry every use-case name.
@@ -62,10 +65,95 @@ func TestCSVAndTableShareAggregation(t *testing.T) {
 // TestFig4Only: -fig4 must stop before the grid evaluation.
 func TestFig4Only(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := run(config{fig4Only: true}, &out, &errOut); err != nil {
+	if err := run(context.Background(), config{fig4Only: true}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "Table I") {
 		t.Fatal("-fig4 must not evaluate the grid")
+	}
+}
+
+// TestExpiredDeadlineFailsFastWithDeadlineError: an already-expired
+// budget (the `-timeout 1ms` smoke in scripts/check.sh) must return
+// promptly with an error that wraps context.DeadlineExceeded and
+// mentions the deadline, not hang or report a generic solver failure.
+func TestExpiredDeadlineFailsFastWithDeadlineError(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	err := run(ctx, config{paperGrid: true}, &out, &errOut)
+	if err == nil {
+		t.Fatal("expired deadline must fail the run")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error %q does not mention the deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired-deadline run took %v, want < 1s", elapsed)
+	}
+}
+
+// TestCancelledGridFlushesPartialTable: cancellation mid-run must
+// still flush the (possibly empty) Table I scaffold rendered so far
+// and report how many instances finished — the partial-results
+// contract of the CLI.
+func TestCancelledGridFlushesPartialTable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// The fig4 section validates with a live context; cancel right
+	// after it by racing a short timer against the (much longer) grid.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	var out, errOut bytes.Buffer
+	err := run(ctx, config{paperGrid: true}, &out, &errOut)
+	if err == nil {
+		t.Skip("run finished before the cancel landed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if strings.Contains(out.String(), "Table I") && !strings.Contains(err.Error(), "partial results") {
+		t.Fatalf("grid abort error %q does not flag partial results", err)
+	}
+}
+
+// TestStatsReportsTelemetryAndCacheHits: -stats must print the
+// telemetry summary, select the numeric model under -model auto, and
+// observe a positive cross-section cache hit rate (same-aspect
+// channels share one normalized solve).
+func TestStatsReportsTelemetryAndCacheHits(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), config{fig4Only: true, stats: true}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "solver telemetry") {
+		t.Fatal("-stats output lacks the telemetry summary")
+	}
+	if !strings.Contains(s, "sor:") {
+		t.Fatal("-stats under -model auto must run the numeric (SOR) model")
+	}
+	if !strings.Contains(s, "cross-section cache:") || strings.Contains(s, "no lookups") {
+		t.Fatalf("-stats output lacks cache traffic:\n%s", s)
+	}
+	if strings.Contains(s, "hit rate 0.0%") {
+		t.Fatalf("expected a positive cache hit rate:\n%s", s)
+	}
+}
+
+// TestModelFlagRejectsUnknown: the -model flag validates its value.
+func TestModelFlagRejectsUnknown(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), config{model: "spectral"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "-model") {
+		t.Fatalf("unknown model must fail with a -model error, got %v", err)
 	}
 }

@@ -18,16 +18,25 @@
 //	  ]
 //	}
 //
+// Generation itself is pure computation, but validation and the flow
+// -field solve run iterative solvers: both are context-driven, so
+// Ctrl-C (SIGINT/SIGTERM) or an elapsed -timeout budget aborts them
+// cooperatively and the process exits nonzero with the cause.
+//
 // Usage:
 //
 //	oocgen -usecase male_simple -svg chip.svg -json chip.json
 //	oocgen -spec myspec.json -svg chip.svg
+//	oocgen -usecase male_simple -timeout 10s -stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ooc"
 	"ooc/internal/specio"
@@ -44,15 +53,36 @@ func main() {
 	fieldPath := flag.String("field", "", "solve the depth-averaged flow field and write a velocity heatmap PNG to this path")
 	doReview := flag.Bool("review", false, "run the pre-fabrication design review and print findings")
 	validate := flag.Bool("validate", true, "validate the design with the CFD-substitute pipeline and print deviations")
+	timeout := flag.Duration("timeout", 0, "overall deadline for validation and field solves (0 = none)")
+	stats := flag.Bool("stats", false, "print solver telemetry after the run")
 	flag.Parse()
 
-	if err := run(*useCase, *specPath, *svgPath, *jsonPath, *dxfPath, *gdsPath, *fieldPath, *doReview, *validate); err != nil {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var col *ooc.TelemetryCollector
+	if *stats {
+		col = ooc.NewTelemetryCollector()
+		ctx = ooc.WithTelemetry(ctx, col)
+	}
+
+	err := run(ctx, *useCase, *specPath, *svgPath, *jsonPath, *dxfPath, *gdsPath, *fieldPath, *doReview, *validate)
+	if col != nil {
+		// Telemetry covers whatever ran — including aborted partial
+		// solves — so it prints even when the run failed.
+		fmt.Print(col.Snapshot().Format())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(useCase, specPath, svgPath, jsonPath, dxfPath, gdsPath, fieldPath string, doReview, validate bool) error {
+func run(ctx context.Context, useCase, specPath, svgPath, jsonPath, dxfPath, gdsPath, fieldPath string, doReview, validate bool) error {
 	var spec ooc.Spec
 	switch {
 	case useCase != "" && specPath != "":
@@ -92,7 +122,7 @@ func run(useCase, specPath, svgPath, jsonPath, dxfPath, gdsPath, fieldPath strin
 	}
 
 	if validate {
-		rep, err := ooc.Validate(design, ooc.ValidationOptions{})
+		rep, err := ooc.ValidateContext(ctx, design, ooc.ValidationOptions{})
 		if err != nil {
 			return err
 		}
@@ -130,7 +160,7 @@ func run(useCase, specPath, svgPath, jsonPath, dxfPath, gdsPath, fieldPath strin
 		fmt.Println("wrote", gdsPath)
 	}
 	if fieldPath != "" {
-		f, err := ooc.SolveFlowField(design, ooc.FieldOptions{})
+		f, err := ooc.SolveFlowFieldContext(ctx, design, ooc.FieldOptions{})
 		if err != nil {
 			return err
 		}

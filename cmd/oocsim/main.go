@@ -4,39 +4,71 @@
 // laminar minor losses and reports per-module flow-rate and perfusion
 // deviations from the specification embedded in the file.
 //
+// The validation is context-driven: Ctrl-C (SIGINT/SIGTERM) or an
+// elapsed -timeout budget aborts it cooperatively. Under
+// -model numeric a deadline degrades per-channel to the analytic
+// exact resistance instead of failing; degraded channels are listed.
+//
 // Usage:
 //
 //	oocsim chip.json
 //	oocsim -model approx -no-bends -no-junctions chip.json   # self-consistency check
+//	oocsim -model numeric -timeout 30s -stats chip.json      # CFD-lite with telemetry
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
+	"ooc/internal/obs"
 	"ooc/internal/render"
 	"ooc/internal/report"
 	"ooc/internal/sim"
 )
 
 func main() {
-	model := flag.String("model", "exact", "resistance model: exact or approx")
+	model := flag.String("model", "exact", "resistance model: exact, approx or numeric")
 	noBends := flag.Bool("no-bends", false, "disable meander bend losses")
 	noJunctions := flag.Bool("no-junctions", false, "disable T-junction losses")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the validation (0 = none)")
+	stats := flag.Bool("stats", false, "print solver telemetry after the report")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: oocsim [flags] design.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *model, *noBends, *noJunctions); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var col *obs.Collector
+	if *stats {
+		col = obs.NewCollector()
+		ctx = obs.WithCollector(ctx, col)
+	}
+
+	err := run(ctx, flag.Arg(0), *model, *noBends, *noJunctions)
+	if col != nil {
+		// Telemetry covers whatever ran, including aborted solves.
+		fmt.Print(col.Snapshot().Format())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, model string, noBends, noJunctions bool) error {
+func run(ctx context.Context, path, model string, noBends, noJunctions bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -54,10 +86,12 @@ func run(path, model string, noBends, noJunctions bool) error {
 		opt.Model = sim.ModelExact
 	case "approx":
 		opt.Model = sim.ModelApprox
+	case "numeric":
+		opt.Model = sim.ModelNumeric
 	default:
-		return fmt.Errorf("unknown model %q (exact or approx)", model)
+		return fmt.Errorf("unknown model %q (exact, approx or numeric)", model)
 	}
-	rep, err := sim.Validate(design, opt)
+	rep, err := sim.ValidateContext(ctx, design, opt)
 	if err != nil {
 		return err
 	}
@@ -65,5 +99,9 @@ func run(path, model string, noBends, noJunctions bool) error {
 	fmt.Printf("aggregate: flow dev avg %.2f%% max %.2f%% | perfusion dev avg %.2f%% max %.2f%%\n",
 		rep.AvgFlowDeviation*100, rep.MaxFlowDeviation*100,
 		rep.AvgPerfDeviation*100, rep.MaxPerfDeviation*100)
+	if len(rep.Degradations) > 0 {
+		fmt.Printf("degraded to analytic exact resistance under deadline: %d channels (%s)\n",
+			len(rep.Degradations), strings.Join(rep.Degradations, ", "))
+	}
 	return nil
 }

@@ -23,12 +23,16 @@ import (
 // The shared worker pool in internal/parallel is the repo's
 // sanctioned concurrency substrate: its `go` statements are the pool's
 // own machinery (bounded, joined, race-test-covered), so the
-// loop-capture rule does not apply inside that package. Everything
-// else should reach concurrency through the pool rather than raw
-// goroutines, and remains fully checked.
+// loop-capture rule does not apply inside that package. Likewise, the
+// telemetry layer in internal/obs is the sanctioned home for shared
+// mutable state — every counter write there is guarded by the
+// Collector mutex and race-test-covered — so the package-level-write
+// rule does not apply inside it. Everything else should reach
+// concurrency through the pool and shared counters through obs, and
+// remains fully checked.
 var ConcurrencyAnalyzer = &Analyzer{
 	Name: "concurrency",
-	Doc:  "flag loop-variable capture in go/defer closures and unguarded writes to package-level state (the internal/parallel pool is exempt)",
+	Doc:  "flag loop-variable capture in go/defer closures and unguarded writes to package-level state (the internal/parallel pool and the internal/obs telemetry layer are exempt)",
 	Run:  runConcurrency,
 }
 
@@ -40,9 +44,18 @@ func isPoolPackage(path string) bool {
 	return path == "internal/parallel" || strings.HasSuffix(path, "/internal/parallel")
 }
 
+// isObsPackage reports whether path is the telemetry layer, whose
+// package-level collector state the concurrency rule recognizes as
+// sanctioned (mutex-guarded) shared state.
+func isObsPackage(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
 func runConcurrency(pass *Pass) {
 	info := pass.Pkg.Info
 	inPool := isPoolPackage(pass.Pkg.Path)
+	inObs := isObsPackage(pass.Pkg.Path)
 	for i, f := range pass.Pkg.Files {
 		isTest := strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go")
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -64,7 +77,7 @@ func runConcurrency(pass *Pass) {
 					checkLoopCapture(pass, vars, n.Body)
 				}
 			case *ast.FuncDecl:
-				if !isTest {
+				if !isTest && !inObs {
 					checkGlobalWrites(pass, n)
 				}
 			}

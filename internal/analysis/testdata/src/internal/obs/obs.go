@@ -1,0 +1,27 @@
+// Package obs is a fixture standing in for the repo's telemetry
+// layer. The function below writes a package-level variable outside
+// init without a visible lock — exactly the pattern the concurrency
+// rule flags everywhere else — but the rule recognizes internal/obs
+// as the sanctioned home for shared mutable counters and stays
+// silent. The golden file proves it: this fixture contributes zero
+// diagnostics.
+package obs
+
+// Collector is a stand-in aggregate.
+type Collector struct {
+	solves int
+}
+
+var defaultCollector = &Collector{}
+
+// SetDefault swaps the process-wide collector — a package-level write
+// the rule would flag outside internal/obs.
+func SetDefault(c *Collector) {
+	defaultCollector = c
+}
+
+// Bump counts one solve on the default collector — a package-level
+// field write the rule would flag outside internal/obs.
+func Bump() {
+	defaultCollector.solves++
+}

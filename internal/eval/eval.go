@@ -11,6 +11,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"ooc/internal/core"
@@ -23,16 +24,24 @@ import (
 // Grid generates and validates every instance using at most workers
 // concurrent evaluations (workers ≤ 0 selects GOMAXPROCS). The
 // returned slice is indexed like instances; reps[i] is nil exactly
-// when instance i failed, and the error joins every per-instance
-// failure in index order (nil when all succeed).
-func Grid(instances []usecases.Instance, workers int, opt sim.Options) ([]*sim.Report, error) {
-	return parallel.Map(len(instances), workers, func(i int) (*sim.Report, error) {
+// when instance i failed (or was never reached after a cancellation),
+// and the error joins every per-instance failure in index order (nil
+// when all succeed).
+//
+// Cancellation follows the cooperative contract of the shared pool:
+// once ctx is done no new instance is claimed, in-flight instances
+// run their per-validation cancellation (prompt, because the solvers
+// check ctx between iterations), and the joined error ends with
+// ctx.Err(). The partial reps slice remains usable — Table renders
+// whatever subset completed.
+func Grid(ctx context.Context, instances []usecases.Instance, workers int, opt sim.Options) ([]*sim.Report, error) {
+	return parallel.MapContext(ctx, len(instances), workers, func(i int) (*sim.Report, error) {
 		in := instances[i]
 		d, err := core.Generate(in.Spec)
 		if err != nil {
 			return nil, fmt.Errorf("%s: generate: %w", in.Label(), err)
 		}
-		rep, err := sim.Validate(d, opt)
+		rep, err := sim.ValidateContext(ctx, d, opt)
 		if err != nil {
 			return nil, fmt.Errorf("%s: validate: %w", in.Label(), err)
 		}

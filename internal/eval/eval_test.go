@@ -1,8 +1,12 @@
 package eval
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"ooc/internal/sim"
 	"ooc/internal/usecases"
@@ -21,7 +25,7 @@ func smallGrid() ([]usecases.UseCase, []usecases.Instance) {
 
 func TestGridFillsEveryIndex(t *testing.T) {
 	cases, instances := smallGrid()
-	reps, err := Grid(instances, 0, sim.Options{})
+	reps, err := Grid(context.Background(), instances, 0, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +48,7 @@ func TestGridFillsEveryIndex(t *testing.T) {
 func TestGridByteIdenticalAcrossWorkers(t *testing.T) {
 	cases, instances := smallGrid()
 	render := func(workers int) (string, string) {
-		reps, err := Grid(instances, workers, sim.Options{})
+		reps, err := Grid(context.Background(), instances, workers, sim.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +84,7 @@ func TestGridAggregatesAllFailures(t *testing.T) {
 	if poisoned != 2 {
 		t.Fatal("test setup: expected two poisoned instances")
 	}
-	reps, err := Grid(instances, 4, sim.Options{})
+	reps, err := Grid(context.Background(), instances, 4, sim.Options{})
 	if err == nil {
 		t.Fatal("want joined error for poisoned instances")
 	}
@@ -97,5 +101,71 @@ func TestGridAggregatesAllFailures(t *testing.T) {
 		if healthy && rep == nil {
 			t.Fatalf("healthy instance %d failed", i)
 		}
+	}
+}
+
+// TestGridCancelMidFlightReturnsPromptly cancels a full 288-instance
+// numeric-model grid mid-evaluation and asserts the cooperative-
+// cancellation contract end to end: Grid returns within a second of
+// the cancel (the solvers check ctx between iterations), the error
+// wraps context.Canceled, the partial reps slice still renders a
+// table, and the pool's goroutines are joined — nothing leaks.
+func TestGridCancelMidFlightReturnsPromptly(t *testing.T) {
+	cases := usecases.All()
+	instances := usecases.Instances(cases, usecases.ExtendedSweep())
+	// Cold cache makes the numeric solves do real work, so the cancel
+	// lands mid-flight rather than after a warm sprint to the finish.
+	sim.ResetCrossSectionCache()
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelled := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancelled <- time.Now()
+		cancel()
+	}()
+
+	reps, err := Grid(ctx, instances, 0, sim.Options{Model: sim.ModelNumeric})
+	returned := time.Now()
+	if err == nil {
+		t.Skip("grid finished before the cancel landed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if wait := returned.Sub(<-cancelled); wait > time.Second {
+		t.Fatalf("Grid took %v to return after the cancel, want < 1s", wait)
+	}
+	if len(reps) != len(instances) {
+		t.Fatalf("got %d report slots for %d instances", len(reps), len(instances))
+	}
+	missing := 0
+	for _, rep := range reps {
+		if rep == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Fatal("cancelled grid claims every instance completed")
+	}
+	// The partial slice must still aggregate — the CLI renders exactly
+	// this on abort.
+	if tbl := Table(cases, instances, reps); len(tbl.Rows) != len(cases) {
+		t.Fatalf("partial table has %d rows, want %d", len(tbl.Rows), len(cases))
+	}
+
+	// The pool joins its workers before returning; give the runtime a
+	// moment to retire them, then verify nothing is left behind.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -21,13 +21,17 @@
 package field
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"ooc/internal/core"
 	"ooc/internal/fluid"
 	"ooc/internal/geometry"
+	"ooc/internal/linalg"
+	"ooc/internal/obs"
 	"ooc/internal/parallel"
 	"ooc/internal/units"
 )
@@ -92,6 +96,19 @@ func (f *Field) At(i, j int) (bool, float64) {
 
 // Solve rasterizes the design and solves the Hele-Shaw field.
 func Solve(d *core.Design, opt Options) (*Field, error) {
+	return SolveContext(context.Background(), d, opt)
+}
+
+// SolveContext is Solve with cooperative cancellation and telemetry:
+// the CG loop checks ctx between iterations and aborts with an error
+// wrapping ctx.Err() (distinct from the non-convergence error), and
+// every solve — converged, non-converged or aborted — records an
+// obs.SolveStats under solver name "cg" into the collector carried by
+// ctx.
+func SolveContext(ctx context.Context, d *core.Design, opt Options) (*Field, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d == nil || len(d.Channels) == 0 {
 		return nil, errors.New("field: empty design")
 	}
@@ -360,8 +377,22 @@ func Solve(d *core.Design, opt Options) (*Field, error) {
 		bNorm = 1
 	}
 
+	start := time.Now()
+	recordCG := func(iters int, converged bool) {
+		obs.FromContext(ctx).RecordSolve(obs.SolveStats{
+			Solver:     "cg",
+			Iterations: iters,
+			Residual:   math.Sqrt(rr) / bNorm,
+			Wall:       time.Since(start),
+			Converged:  converged,
+		})
+	}
 	var iter int
 	for iter = 1; iter <= maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			recordCG(iter-1, false)
+			return nil, fmt.Errorf("field: CG solve aborted after %d iterations: %w", iter-1, err)
+		}
 		if math.Sqrt(rr) <= tol*bNorm {
 			break
 		}
@@ -389,9 +420,11 @@ func Solve(d *core.Design, opt Options) (*Field, error) {
 	}
 	f.Iterations = iter
 	if iter > maxIter {
-		return nil, fmt.Errorf("field: CG did not converge in %d iterations (residual %.2e)",
-			maxIter, math.Sqrt(rr)/bNorm)
+		recordCG(maxIter, false)
+		return nil, fmt.Errorf("field: CG after %d iterations (residual %.2e): %w",
+			maxIter, math.Sqrt(rr)/bNorm, linalg.ErrNoConvergence)
 	}
+	recordCG(iter, true)
 
 	// The solved p is physical pressure [Pa]; the depth-averaged
 	// velocity is v = −(h²/12µ)∇p = −(k/h)·∇p with one-sided gradients

@@ -2,12 +2,15 @@ package field
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"image/png"
 	"math"
 	"testing"
 
 	"ooc/internal/core"
 	"ooc/internal/fluid"
+	"ooc/internal/obs"
 	"ooc/internal/physio"
 	"ooc/internal/units"
 )
@@ -200,5 +203,32 @@ func TestSolveWorkersBitIdentical(t *testing.T) {
 		if serial.P[idx] != par.P[idx] || serial.Speed[idx] != par.Speed[idx] {
 			t.Fatalf("cell %d diverged between worker counts", idx)
 		}
+	}
+}
+
+func TestSolveContextCancelledAbortsPromptly(t *testing.T) {
+	d := fig4Design(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveContext(ctx, d, Options{CellSize: 150e-6, Tol: 1e-9})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSolveContextRecordsCGStats(t *testing.T) {
+	d := fig4Design(t)
+	c := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), c)
+	if _, err := SolveContext(ctx, d, Options{CellSize: 150e-6, Tol: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if len(s.Solvers) != 1 || s.Solvers[0].Solver != "cg" {
+		t.Fatalf("collector solvers: %+v", s.Solvers)
+	}
+	cg := s.Solvers[0]
+	if cg.Solves != 1 || cg.Converged != 1 || cg.TotalIterations <= 0 {
+		t.Fatalf("cg stats: %+v", cg)
 	}
 }

@@ -29,21 +29,28 @@ type Matrix struct {
 	data       []float64
 }
 
-// NewMatrix returns a zero-initialized r×c matrix.
-func NewMatrix(r, c int) *Matrix {
+// NewMatrix returns a zero-initialized r×c matrix. Non-positive
+// dimensions are reported as an error wrapping ErrShape — like every
+// other constructor in this package — rather than a panic, so a bad
+// size computed from untrusted design input cannot crash a server or
+// a long batch run.
+func NewMatrix(r, c int) (*Matrix, error) {
 	if r <= 0 || c <= 0 {
-		panic(fmt.Sprintf("linalg: invalid matrix size %dx%d", r, c))
+		return nil, fmt.Errorf("%w: invalid matrix size %dx%d", ErrShape, r, c)
 	}
-	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}, nil
 }
 
 // Identity returns the n×n identity matrix.
-func Identity(n int) *Matrix {
-	m := NewMatrix(n, n)
+func Identity(n int) (*Matrix, error) {
+	m, err := NewMatrix(n, n)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
 		m.Set(i, i, 1)
 	}
-	return m
+	return m, nil
 }
 
 // Rows returns the number of rows.
@@ -65,7 +72,7 @@ func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
 
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
-	c := NewMatrix(m.rows, m.cols)
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]float64, len(m.data))}
 	copy(c.data, m.data)
 	return c
 }

@@ -10,8 +10,41 @@ import (
 	"ooc/internal/testutil"
 )
 
+// mustMatrix builds a matrix whose size is known-valid in the test.
+func mustMatrix(t testing.TB, r, c int) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustIdentity(t testing.TB, n int) *Matrix {
+	t.Helper()
+	m, err := Identity(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMatrixRejectsInvalidSizes(t *testing.T) {
+	for _, sz := range [][2]int{{0, 3}, {3, 0}, {-1, 2}, {0, 0}} {
+		if _, err := NewMatrix(sz[0], sz[1]); !errors.Is(err, ErrShape) {
+			t.Errorf("NewMatrix(%d, %d): want ErrShape, got %v", sz[0], sz[1], err)
+		}
+	}
+	if _, err := Identity(0); !errors.Is(err, ErrShape) {
+		t.Errorf("Identity(0): want ErrShape, got %v", err)
+	}
+	if _, err := Identity(-4); !errors.Is(err, ErrShape) {
+		t.Errorf("Identity(-4): want ErrShape, got %v", err)
+	}
+}
+
 func TestSolve2x2(t *testing.T) {
-	a := NewMatrix(2, 2)
+	a := mustMatrix(t, 2, 2)
 	a.Set(0, 0, 2)
 	a.Set(0, 1, 1)
 	a.Set(1, 0, 1)
@@ -32,7 +65,7 @@ func TestSolveIdentity(t *testing.T) {
 	for i := range b {
 		b[i] = float64(i) - 2.5
 	}
-	x, err := Solve(Identity(n), b)
+	x, err := Solve(mustIdentity(t, n), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +77,7 @@ func TestSolveIdentity(t *testing.T) {
 }
 
 func TestSolveSingular(t *testing.T) {
-	a := NewMatrix(2, 2)
+	a := mustMatrix(t, 2, 2)
 	a.Set(0, 0, 1)
 	a.Set(0, 1, 2)
 	a.Set(1, 0, 2)
@@ -56,7 +89,7 @@ func TestSolveSingular(t *testing.T) {
 
 func TestSolveNeedsPivoting(t *testing.T) {
 	// Zero on the diagonal forces a row swap.
-	a := NewMatrix(2, 2)
+	a := mustMatrix(t, 2, 2)
 	a.Set(0, 0, 0)
 	a.Set(0, 1, 1)
 	a.Set(1, 0, 1)
@@ -71,11 +104,11 @@ func TestSolveNeedsPivoting(t *testing.T) {
 }
 
 func TestShapeErrors(t *testing.T) {
-	a := NewMatrix(2, 3)
+	a := mustMatrix(t, 2, 3)
 	if _, err := Factorize(a); !errors.Is(err, ErrShape) {
 		t.Errorf("Factorize non-square: %v", err)
 	}
-	sq := Identity(3)
+	sq := mustIdentity(t, 3)
 	if _, err := Solve(sq, []float64{1, 2}); !errors.Is(err, ErrShape) {
 		t.Errorf("Solve wrong rhs length: %v", err)
 	}
@@ -85,7 +118,7 @@ func TestShapeErrors(t *testing.T) {
 }
 
 func TestDet(t *testing.T) {
-	a := NewMatrix(3, 3)
+	a := mustMatrix(t, 3, 3)
 	vals := [][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
 	for i := range vals {
 		for j := range vals[i] {
@@ -116,7 +149,7 @@ func TestDet(t *testing.T) {
 // randomDiagDominant builds a well-conditioned random system; property
 // tests verify A·x ≈ b after solving.
 func randomDiagDominant(rng *rand.Rand, n int) *Matrix {
-	a := NewMatrix(n, n)
+	a, _ := NewMatrix(n, n) // n ≥ 2 at every call site
 	for i := 0; i < n; i++ {
 		var rowSum float64
 		for j := 0; j < n; j++ {
@@ -202,7 +235,7 @@ func TestFactorizeDoesNotMutateInput(t *testing.T) {
 }
 
 func TestMatrixAddAndMaxAbs(t *testing.T) {
-	m := NewMatrix(2, 2)
+	m := mustMatrix(t, 2, 2)
 	m.Add(0, 1, 2.5)
 	m.Add(0, 1, -1.0)
 	if !testutil.Approx(m.At(0, 1), 1.5) {

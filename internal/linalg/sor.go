@@ -1,10 +1,13 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"ooc/internal/obs"
 	"ooc/internal/parallel"
 )
 
@@ -101,15 +104,29 @@ const redBlackThreshold = 1 << 15
 // fully developed laminar flow in a rectangular channel obeys
 // ∇²w = -G/µ for the axial velocity w, which is exactly this problem.
 func SolvePoissonSOR(g *Grid2D, f []float64, hx, hy float64, opt SORPoissonOptions) (int, error) {
+	st, err := SolvePoissonSORContext(context.Background(), g, f, hx, hy, opt)
+	return st.Iterations, err
+}
+
+// SolvePoissonSORContext is SolvePoissonSOR with cooperative
+// cancellation and telemetry. The solver checks ctx between sweeps
+// and aborts with an error wrapping ctx.Err() — distinct from
+// ErrNoConvergence, so callers can tell "ran out of iterations" from
+// "was cancelled" / "hit the deadline" with errors.Is. The returned
+// obs.SolveStats always reports partial progress (sweeps performed,
+// last relative update, wall time) and is also recorded into the
+// obs collector carried by ctx (obs.Default when none), except when
+// the arguments themselves are invalid.
+func SolvePoissonSORContext(ctx context.Context, g *Grid2D, f []float64, hx, hy float64, opt SORPoissonOptions) (obs.SolveStats, error) {
 	if len(f) != len(g.V) {
-		return 0, fmt.Errorf("%w: grid %dx%d, source length %d", ErrShape, g.Nx, g.Ny, len(f))
+		return obs.SolveStats{}, fmt.Errorf("%w: grid %dx%d, source length %d", ErrShape, g.Nx, g.Ny, len(f))
 	}
 	if hx <= 0 || hy <= 0 {
-		return 0, fmt.Errorf("linalg: non-positive grid spacing (%g, %g)", hx, hy)
+		return obs.SolveStats{}, fmt.Errorf("linalg: non-positive grid spacing (%g, %g)", hx, hy)
 	}
 	nx, ny := g.Nx, g.Ny
 	if nx < 3 || ny < 3 {
-		return 0, fmt.Errorf("linalg: grid %dx%d has no interior", nx, ny)
+		return obs.SolveStats{}, fmt.Errorf("linalg: grid %dx%d has no interior", nx, ny)
 	}
 	omega := opt.Omega
 	if omega == 0 {
@@ -118,32 +135,62 @@ func SolvePoissonSOR(g *Grid2D, f []float64, hx, hy float64, opt SORPoissonOptio
 		omega = 2 / (1 + math.Sqrt(1-rho*rho))
 	}
 	if omega <= 0 || omega >= 2 {
-		return 0, fmt.Errorf("linalg: SOR omega %g out of (0,2)", omega)
+		return obs.SolveStats{}, fmt.Errorf("linalg: SOR omega %g out of (0,2)", omega)
 	}
 	tol := opt.Tol
 	if tol < 0 || math.IsNaN(tol) {
-		return 0, fmt.Errorf("linalg: invalid SOR tolerance %g", tol)
+		return obs.SolveStats{}, fmt.Errorf("linalg: invalid SOR tolerance %g", tol)
 	}
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {
 		maxIter = 100 * (nx + ny)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	ihx2 := 1 / (hx * hx)
 	ihy2 := 1 / (hy * hy)
 	diag := 2 * (ihx2 + ihy2)
 
+	start := time.Now()
+	var it int
+	var rel float64
+	var err error
 	if nx*ny >= redBlackThreshold {
-		return solveSORRedBlack(g, f, ihx2, ihy2, diag, omega, tol, maxIter, opt.Workers)
+		it, rel, err = solveSORRedBlack(ctx, g, f, ihx2, ihy2, diag, omega, tol, maxIter, opt.Workers)
+	} else {
+		it, rel, err = solveSORLex(ctx, g, f, ihx2, ihy2, diag, omega, tol, maxIter)
 	}
-	return solveSORLex(g, f, ihx2, ihy2, diag, omega, tol, maxIter)
+	st := obs.SolveStats{
+		Solver:     "sor",
+		Iterations: it,
+		Residual:   rel,
+		Wall:       time.Since(start),
+		Converged:  err == nil,
+	}
+	obs.FromContext(ctx).RecordSolve(st)
+	return st, err
+}
+
+// sorAborted wraps the context error that cut a solve short, keeping
+// the partial iteration count in the message while staying
+// errors.Is-transparent for context.Canceled / DeadlineExceeded.
+func sorAborted(done int, ctxErr error) error {
+	return fmt.Errorf("linalg: SOR solve aborted after %d iterations: %w", done, ctxErr)
 }
 
 // solveSORLex is the classic serial lexicographic Gauss-Seidel SOR
-// sweep.
-func solveSORLex(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter int) (int, error) {
+// sweep. It returns the sweeps performed and the last sweep's relative
+// max update (the convergence measure), so aborted and non-converged
+// solves still report partial progress.
+func solveSORLex(ctx context.Context, g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter int) (int, float64, error) {
 	nx, ny := g.Nx, g.Ny
+	rel := math.Inf(1)
 	for it := 1; it <= maxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return it - 1, rel, sorAborted(it-1, err)
+		}
 		var maxUpd, maxVal float64
 		for j := 1; j < ny-1; j++ {
 			row := j * nx
@@ -163,11 +210,12 @@ func solveSORLex(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, m
 		if maxVal == 0 {
 			maxVal = 1
 		}
+		rel = maxUpd / maxVal
 		if maxUpd <= tol*maxVal {
-			return it, nil
+			return it, rel, nil
 		}
 	}
-	return maxIter, ErrNoConvergence
+	return maxIter, rel, ErrNoConvergence
 }
 
 // solveSORRedBlack sweeps the grid in red-black (checkerboard) order:
@@ -178,7 +226,7 @@ func solveSORLex(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, m
 // statistics are reduced per row and combined with max(), which is
 // order-insensitive, so the returned iteration count is deterministic
 // too.
-func solveSORRedBlack(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter, workers int) (int, error) {
+func solveSORRedBlack(ctx context.Context, g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter, workers int) (int, float64, error) {
 	nx, ny := g.Nx, g.Ny
 	workers = parallel.Workers(workers)
 	rowUpd := make([]float64, ny)
@@ -208,7 +256,11 @@ func solveSORRedBlack(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float
 			}
 		})
 	}
+	rel := math.Inf(1)
 	for it := 1; it <= maxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return it - 1, rel, sorAborted(it-1, err)
+		}
 		for j := range rowUpd {
 			rowUpd[j], rowVal[j] = 0, 0
 		}
@@ -226,9 +278,10 @@ func solveSORRedBlack(g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float
 		if maxVal == 0 {
 			maxVal = 1
 		}
+		rel = maxUpd / maxVal
 		if maxUpd <= tol*maxVal {
-			return it, nil
+			return it, rel, nil
 		}
 	}
-	return maxIter, ErrNoConvergence
+	return maxIter, rel, ErrNoConvergence
 }

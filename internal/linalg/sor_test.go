@@ -1,9 +1,13 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
+	"time"
+
+	"ooc/internal/obs"
 )
 
 // mustGrid builds a grid or fails the test.
@@ -212,11 +216,11 @@ func TestRedBlackAgreesWithLex(t *testing.T) {
 	omega := 2 / (1 + math.Sqrt(1-rho*rho))
 
 	lex := mustGrid(t, nx, ny)
-	if _, err := solveSORLex(lex, f, ihx2, ihy2, diag, omega, 1e-12, 100*(nx+ny)); err != nil {
+	if _, _, err := solveSORLex(context.Background(), lex, f, ihx2, ihy2, diag, omega, 1e-12, 100*(nx+ny)); err != nil {
 		t.Fatal(err)
 	}
 	rb := mustGrid(t, nx, ny)
-	if _, err := solveSORRedBlack(rb, f, ihx2, ihy2, diag, omega, 1e-12, 100*(nx+ny), 4); err != nil {
+	if _, _, err := solveSORRedBlack(context.Background(), rb, f, ihx2, ihy2, diag, omega, 1e-12, 100*(nx+ny), 4); err != nil {
 		t.Fatal(err)
 	}
 	var maxDiff float64
@@ -245,7 +249,7 @@ func TestRedBlackBitDeterministicAcrossWorkers(t *testing.T) {
 
 	solve := func(workers int) ([]float64, int) {
 		g := mustGrid(t, nx, ny)
-		iters, err := solveSORRedBlack(g, f, ihx2, ihy2, diag, 1.5, 1e-11, 100*(nx+ny), workers)
+		iters, _, err := solveSORRedBlack(context.Background(), g, f, ihx2, ihy2, diag, 1.5, 1e-11, 100*(nx+ny), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,5 +310,121 @@ func TestGrid2DAccessors(t *testing.T) {
 	//ooclint:ignore floatcmp storage round-trip is bit-exact
 	if g.V[1*4+2] != 7.5 {
 		t.Fatal("row-major layout violated")
+	}
+}
+
+// sorTestProblem is a small well-posed Poisson problem for the
+// context/cancellation tests.
+func sorTestProblem(t *testing.T) (*Grid2D, []float64, float64, float64) {
+	t.Helper()
+	nx, ny := 33, 33
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	g := mustGrid(t, nx, ny)
+	f := eigenSource(nx, ny, hx, hy)
+	return g, f, hx, hy
+}
+
+func TestSORContextPreCancelled(t *testing.T) {
+	g, f, hx, hy := sorTestProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := SolvePoissonSORContext(ctx, g, f, hx, hy, DefaultSORPoissonOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrNoConvergence) {
+		t.Fatal("cancellation must not be conflated with ErrNoConvergence")
+	}
+	if st.Iterations != 0 || st.Converged {
+		t.Fatalf("pre-cancelled solve reported progress: %+v", st)
+	}
+}
+
+func TestSORContextExpiredDeadline(t *testing.T) {
+	g, f, hx, hy := sorTestProblem(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := SolvePoissonSORContext(ctx, g, f, hx, hy, DefaultSORPoissonOptions())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("deadline and cancellation must be distinguishable")
+	}
+}
+
+func TestSORContextRecordsStats(t *testing.T) {
+	g, f, hx, hy := sorTestProblem(t)
+	c := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), c)
+	st, err := SolvePoissonSORContext(ctx, g, f, hx, hy, DefaultSORPoissonOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations <= 0 {
+		t.Fatalf("converged solve stats: %+v", st)
+	}
+	if st.Residual < 0 || st.Residual > 1e-10 {
+		t.Fatalf("converged residual %g out of range", st.Residual)
+	}
+	s := c.Snapshot()
+	if len(s.Solvers) != 1 || s.Solvers[0].Solver != "sor" {
+		t.Fatalf("collector solvers: %+v", s.Solvers)
+	}
+	if s.Solvers[0].Solves != 1 || s.Solvers[0].Converged != 1 {
+		t.Fatalf("collector counts: %+v", s.Solvers[0])
+	}
+	if s.Solvers[0].TotalIterations != st.Iterations {
+		t.Fatalf("collector iterations %d vs stats %d", s.Solvers[0].TotalIterations, st.Iterations)
+	}
+}
+
+// countdownCtx reports Canceled after a fixed number of Err calls,
+// giving a deterministic mid-solve abort without timers.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestSORContextMidSolveAbortKeepsPartialProgress(t *testing.T) {
+	g, f, hx, hy := sorTestProblem(t)
+	const sweeps = 5
+	ctx := &countdownCtx{Context: context.Background(), remaining: sweeps}
+	c := obs.NewCollector()
+	st, err := SolvePoissonSORContext(obs.WithCollector(ctx, c), g, f, hx, hy, DefaultSORPoissonOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if st.Iterations != sweeps {
+		t.Fatalf("partial progress: %d sweeps, want %d", st.Iterations, sweeps)
+	}
+	if st.Converged {
+		t.Fatal("aborted solve must not report convergence")
+	}
+	if math.IsInf(st.Residual, 1) || st.Residual <= 0 {
+		t.Fatalf("aborted solve must report the last sweep's residual, got %g", st.Residual)
+	}
+	if s := c.Snapshot(); s.Solvers[0].Converged != 0 || s.Solvers[0].Solves != 1 {
+		t.Fatalf("collector recorded aborted solve wrong: %+v", s.Solvers[0])
+	}
+	// The grid must hold the partial iterate, not be reset.
+	var nonzero bool
+	for _, v := range g.V {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("aborted solve discarded partial iterate")
 	}
 }

@@ -169,7 +169,10 @@ func (n *Network) Solve() (*Solution, error) {
 	}
 
 	// Assemble the conductance matrix G·P = I.
-	g := linalg.NewMatrix(nn, nn)
+	g, err := linalg.NewMatrix(nn, nn)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: assembling %d-node system: %w", nn, err)
+	}
 	rhs := make([]float64, nn)
 	for _, ch := range n.channels {
 		cond := 1 / float64(ch.Resistance)

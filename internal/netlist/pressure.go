@@ -94,7 +94,10 @@ func (n *Network) SolveMNA() (*MNASolution, error) {
 		}
 	}
 
-	g := linalg.NewMatrix(size, size)
+	g, err := linalg.NewMatrix(size, size)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: assembling %d-node pressure system: %w", size, err)
+	}
 	rhs := make([]float64, size)
 	for _, ch := range n.channels {
 		cond := 1 / float64(ch.Resistance)

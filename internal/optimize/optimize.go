@@ -15,6 +15,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -53,13 +54,23 @@ func (o Objective) String() string {
 
 // Constraints bound the feasible region.
 type Constraints struct {
-	// MaxFlowDeviation is the validation budget (fraction). Zero
-	// selects 0.05.
+	// MaxFlowDeviation is the validation budget (fraction). It means
+	// exactly what it says: 0 demands zero deviation (which no real
+	// candidate meets, so everything is infeasible) and negative
+	// values are rejected. Use DefaultConstraints for the historical
+	// 5 % budget — earlier revisions silently rewrote 0 to 0.05,
+	// which made an exactly-zero budget unexpressible.
 	MaxFlowDeviation float64
 	// MaxPumpPressure caps the inlet pump pressure; zero = unbounded.
 	MaxPumpPressure units.Pressure
 	// MaxChipWidth/MaxChipHeight cap the footprint; zero = unbounded.
 	MaxChipWidth, MaxChipHeight units.Length
+}
+
+// DefaultConstraints returns the search's practical defaults: a 5 %
+// flow-deviation budget and unbounded pressure/footprint.
+func DefaultConstraints() Constraints {
+	return Constraints{MaxFlowDeviation: 0.05}
 }
 
 // Options configures the search.
@@ -104,6 +115,19 @@ var ErrInfeasible = errors.New("optimize: no feasible design in the search grid"
 // explicit ChannelHeight is overridden per candidate; all other
 // parameters are preserved.
 func Optimize(spec core.Spec, opt Options) (*Result, error) {
+	return Search(context.Background(), spec, opt)
+}
+
+// Search is Optimize with cooperative cancellation: the candidate
+// loop checks ctx between candidates and, when ctx is done, returns
+// the partial Result accumulated so far together with an error
+// wrapping ctx.Err() — callers can inspect Result.Candidates to see
+// how far the search got, and errors.Is distinguishes the abort from
+// ErrInfeasible.
+func Search(ctx context.Context, spec core.Spec, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	heights := opt.ChannelHeights
 	if heights == nil {
 		heights = []units.Length{
@@ -118,14 +142,18 @@ func Optimize(spec core.Spec, opt Options) (*Result, error) {
 		}
 	}
 	maxDev := opt.Constraints.MaxFlowDeviation
-	if maxDev == 0 {
-		maxDev = 0.05
+	if maxDev < 0 {
+		return nil, fmt.Errorf("optimize: negative flow-deviation budget %g", maxDev)
 	}
 
 	res := &Result{}
 	bestScore := math.Inf(1)
 	for _, h := range heights {
 		for _, g := range gaps {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("optimize: search aborted after %d of %d candidates: %w",
+					res.Evaluated, len(heights)*len(gaps), err)
+			}
 			cand := Candidate{ChannelHeight: h, MinGap: g, Score: math.NaN()}
 			res.Evaluated++
 
@@ -138,8 +166,13 @@ func Optimize(spec core.Spec, opt Options) (*Result, error) {
 				res.Candidates = append(res.Candidates, cand)
 				continue
 			}
-			rep, err := sim.Validate(d, sim.Options{})
+			rep, err := sim.ValidateContext(ctx, d, sim.Options{})
 			if err != nil {
+				if ctx.Err() != nil {
+					res.Candidates = append(res.Candidates, cand)
+					return res, fmt.Errorf("optimize: search aborted after %d of %d candidates: %w",
+						res.Evaluated, len(heights)*len(gaps), ctx.Err())
+				}
 				cand.Reason = fmt.Sprintf("validation failed: %v", err)
 				res.Candidates = append(res.Candidates, cand)
 				continue

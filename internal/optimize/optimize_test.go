@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -28,7 +29,7 @@ func baseSpec() core.Spec {
 }
 
 func TestOptimizeArea(t *testing.T) {
-	res, err := Optimize(baseSpec(), Options{Objective: MinimizeArea})
+	res, err := Optimize(baseSpec(), Options{Objective: MinimizeArea, Constraints: DefaultConstraints()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestOptimizeArea(t *testing.T) {
 }
 
 func TestOptimizePumpPressure(t *testing.T) {
-	area, err := Optimize(baseSpec(), Options{Objective: MinimizeArea})
+	area, err := Optimize(baseSpec(), Options{Objective: MinimizeArea, Constraints: DefaultConstraints()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pressure, err := Optimize(baseSpec(), Options{Objective: MinimizePumpPressure})
+	pressure, err := Optimize(baseSpec(), Options{Objective: MinimizePumpPressure, Constraints: DefaultConstraints()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestOptimizePumpPressure(t *testing.T) {
 }
 
 func TestOptimizeTotalFlow(t *testing.T) {
-	res, err := Optimize(baseSpec(), Options{Objective: MinimizeTotalFlow})
+	res, err := Optimize(baseSpec(), Options{Objective: MinimizeTotalFlow, Constraints: DefaultConstraints()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,8 @@ func TestInfeasibleConstraints(t *testing.T) {
 	_, err := Optimize(baseSpec(), Options{
 		Objective: MinimizeArea,
 		Constraints: Constraints{
-			MaxChipWidth: units.Millimetres(1), // impossible
+			MaxFlowDeviation: 0.05,
+			MaxChipWidth:     units.Millimetres(1), // impossible
 		},
 	})
 	if !errors.Is(err, ErrInfeasible) {
@@ -106,14 +108,15 @@ func TestInfeasibleConstraints(t *testing.T) {
 func TestConstraintFiltering(t *testing.T) {
 	// A modest pressure cap must exclude some candidates but keep the
 	// problem feasible.
-	unconstrained, err := Optimize(baseSpec(), Options{Objective: MinimizeArea})
+	unconstrained, err := Optimize(baseSpec(), Options{Objective: MinimizeArea, Constraints: DefaultConstraints()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	capped, err := Optimize(baseSpec(), Options{
 		Objective: MinimizeArea,
 		Constraints: Constraints{
-			MaxPumpPressure: unconstrained.BestReport.PumpPressure,
+			MaxFlowDeviation: 0.05,
+			MaxPumpPressure:  unconstrained.BestReport.PumpPressure,
 		},
 	})
 	if err != nil {
@@ -130,6 +133,7 @@ func TestConstraintFiltering(t *testing.T) {
 func TestCustomGrids(t *testing.T) {
 	res, err := Optimize(baseSpec(), Options{
 		Objective:      MinimizeArea,
+		Constraints:    DefaultConstraints(),
 		ChannelHeights: []units.Length{units.Micrometres(150)},
 		MinGaps:        []units.Length{units.Millimetres(2.5), units.Millimetres(3)},
 	})
@@ -147,4 +151,68 @@ func TestObjectiveString(t *testing.T) {
 			t.Fatal("empty objective name")
 		}
 	}
+}
+
+func TestZeroDeviationBudgetMeansZero(t *testing.T) {
+	// An exactly-zero budget is a legitimate (if unmeetable) request:
+	// every candidate has some deviation, so the search must report
+	// infeasibility instead of silently substituting the 5% default.
+	_, err := Optimize(baseSpec(), Options{Objective: MinimizeArea})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("zero budget: want ErrInfeasible, got %v", err)
+	}
+	if _, err := Optimize(baseSpec(), Options{
+		Objective:   MinimizeArea,
+		Constraints: Constraints{MaxFlowDeviation: -0.1},
+	}); err == nil || errors.Is(err, ErrInfeasible) {
+		t.Fatalf("negative budget: want validation error, got %v", err)
+	}
+}
+
+func TestSearchCancelledReturnsPartialResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Search(ctx, baseSpec(), Options{Objective: MinimizeArea, Constraints: DefaultConstraints()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrInfeasible) {
+		t.Fatal("abort must not masquerade as infeasibility")
+	}
+	if res == nil {
+		t.Fatal("aborted search must still return the partial result")
+	}
+	if res.Evaluated != 0 || len(res.Candidates) != 0 {
+		t.Fatalf("pre-cancelled search evaluated %d candidates", res.Evaluated)
+	}
+}
+
+func TestSearchDeadlineMidwayKeepsEvaluatedCandidates(t *testing.T) {
+	// A custom context that expires after the first candidate gives a
+	// deterministic mid-search abort.
+	ctx := &countdownCtx{Context: context.Background(), remaining: 3}
+	res, err := Search(ctx, baseSpec(), Options{Objective: MinimizeArea, Constraints: DefaultConstraints()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Evaluated == 0 || len(res.Candidates) == 0 {
+		t.Fatal("mid-search abort must keep already-evaluated candidates")
+	}
+	if res.Evaluated >= 20 {
+		t.Fatalf("search ran to completion (%d) despite cancellation", res.Evaluated)
+	}
+}
+
+// countdownCtx reports Canceled after a fixed number of Err calls.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
 }

@@ -21,6 +21,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -43,8 +44,23 @@ func Workers(n int) int {
 // atomic counter, so scheduling is load-balanced; result placement is
 // by index, so callers observe no ordering nondeterminism.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), n, workers, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: once ctx is
+// done, no further task is claimed (tasks already running finish — the
+// pool never abandons a goroutine mid-task, so there is nothing to
+// leak). The aggregate error joins every completed task's error in
+// index order, followed by ctx.Err() when the fan-out was cut short;
+// unclaimed indices contribute no error, so callers distinguish
+// "failed" from "never ran" via the results (Map leaves the zero
+// value) plus errors.Is(err, context.Canceled/DeadlineExceeded).
+func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -53,6 +69,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return joinWithCtx(errs, err)
+			}
 			errs[i] = fn(i)
 		}
 		return errors.Join(errs...)
@@ -63,7 +82,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -73,15 +92,34 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return joinWithCtx(errs, err)
+	}
 	return errors.Join(errs...)
+}
+
+// joinWithCtx joins the per-task errors in index order and appends the
+// context error that cut the fan-out short.
+func joinWithCtx(errs []error, ctxErr error) error {
+	joined := make([]error, 0, len(errs)+1)
+	joined = append(joined, errs...)
+	joined = append(joined, ctxErr)
+	return errors.Join(joined...)
 }
 
 // Map runs fn over [0, n) like ForEach and collects the results in
 // index order. Indices whose task failed hold the zero value of T;
 // the second result joins every task error in index order.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, workers, fn)
+}
+
+// MapContext is Map with the cooperative-cancellation contract of
+// ForEachContext: indices never claimed keep the zero value of T and
+// the returned error ends with ctx.Err().
+func MapContext[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, workers, func(i int) error {
+	err := ForEachContext(ctx, n, workers, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -162,5 +163,97 @@ func TestDeterministicUnderLoad(t *testing.T) {
 				t.Fatalf("workers=%d: index %d diverged", workers, i)
 			}
 		}
+	}
+}
+
+// TestForEachContextStopsClaimingOnCancel: after cancellation no new
+// task may be claimed, in-flight tasks complete, and the joined error
+// ends with the context cause.
+func TestForEachContextStopsClaimingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	err := ForEachContext(ctx, 1000, 2, func(i int) error {
+		if started.Add(1) == 2 {
+			cancel()
+			close(release)
+		}
+		<-release
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in the joined error, got %v", err)
+	}
+	// Two workers, each blocked on release until the second starts and
+	// cancels; afterwards neither may claim again.
+	if got := started.Load(); got > 4 {
+		t.Fatalf("claimed %d tasks after cancellation", got)
+	}
+}
+
+func TestForEachContextSerialPath(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := ForEachContext(ctx, 10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial path ran %d tasks after mid-loop cancel, want 4", ran)
+	}
+}
+
+// TestForEachContextKeepsTaskErrors: task errors observed before the
+// cancellation must survive in index order, with the context error
+// joined last.
+func TestForEachContextKeepsTaskErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEachContext(ctx, 8, 1, func(i int) error {
+		if i == 1 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	want := "task 1 failed\n" + context.Canceled.Error()
+	if err == nil || err.Error() != want {
+		t.Fatalf("joined error:\ngot  %q\nwant %q", err, want)
+	}
+}
+
+func TestMapContextUnclaimedIndicesHoldZeroValue(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // done before any claim
+	out, err := MapContext(ctx, 5, 3, func(i int) (int, error) { return i + 1, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("index %d ran after pre-cancelled context: %d", i, v)
+		}
+	}
+}
+
+func TestContextVariantsWithoutCancellationMatchPlain(t *testing.T) {
+	got, err := MapContext(context.Background(), 50, 4, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("index %d holds %d", i, v)
+		}
+	}
+	if err := ForEachContext(nil, 3, 1, func(int) error { return nil }); err != nil {
+		t.Fatalf("nil context must behave like Background: %v", err)
 	}
 }

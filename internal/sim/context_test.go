@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ooc/internal/obs"
+)
+
+// expiredCtx returns a context whose deadline has already passed.
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	t.Cleanup(cancel)
+	<-ctx.Done()
+	return ctx
+}
+
+// cancelledCtx returns an already-cancelled context.
+func cancelledCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestValidateContextCancelledAborts: cancellation (unlike a deadline)
+// aborts validation under every model — including ModelNumeric, whose
+// graceful degradation applies only to deadline expiry.
+func TestValidateContextCancelledAborts(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	for _, model := range []Model{ModelExact, ModelApprox, ModelNumeric} {
+		rep, err := ValidateContext(cancelledCtx(t), d, Options{Model: model})
+		if rep != nil || err == nil {
+			t.Fatalf("model %d: cancelled validation returned rep=%v err=%v", int(model), rep, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("model %d: error %v does not wrap context.Canceled", int(model), err)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("model %d: cancellation conflated with deadline: %v", int(model), err)
+		}
+	}
+}
+
+// TestValidateContextDeadlineAbortsAnalyticModels: under the analytic
+// models there is nothing to degrade to, so an expired deadline aborts
+// with an error wrapping context.DeadlineExceeded.
+func TestValidateContextDeadlineAbortsAnalyticModels(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	for _, model := range []Model{ModelExact, ModelApprox} {
+		rep, err := ValidateContext(expiredCtx(t), d, Options{Model: model})
+		if rep != nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("model %d: want a deadline abort, got rep=%v err=%v", int(model), rep, err)
+		}
+	}
+}
+
+// TestModelNumericDegradesOnDeadline: when the deadline expires under
+// ModelNumeric the validation must complete anyway — every channel
+// whose FDM solve is cut short falls back to the analytic exact
+// resistance, the report lists the degraded channels in channel-index
+// order, and the downgrade is counted in the telemetry collector. The
+// degraded report must equal the ModelExact report bit for bit (the
+// fallback IS the exact model).
+func TestModelNumericDegradesOnDeadline(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	exact, err := Validate(d, Options{Model: ModelExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := obs.NewCollector()
+	ctx := obs.WithCollector(expiredCtx(t), col)
+	ResetCrossSectionCache()
+	rep, err := ValidateContext(ctx, d, Options{Model: ModelNumeric})
+	if err != nil {
+		t.Fatalf("numeric validation must degrade, not fail: %v", err)
+	}
+	if len(rep.Degradations) == 0 {
+		t.Fatal("no degradations recorded on an expired deadline")
+	}
+	if len(rep.Degradations) != len(d.Channels) {
+		t.Fatalf("%d of %d channels degraded; an expired deadline must degrade all of them",
+			len(rep.Degradations), len(d.Channels))
+	}
+	// Channel-index order, so the list is deterministic.
+	idx := func(name string) int {
+		for i, c := range d.Channels {
+			if c.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("degraded channel %q not in the design", name)
+		return -1
+	}
+	for i := 1; i < len(rep.Degradations); i++ {
+		if idx(rep.Degradations[i-1]) >= idx(rep.Degradations[i]) {
+			t.Fatalf("degradations out of channel order: %v", rep.Degradations)
+		}
+	}
+	//ooclint:ignore floatcmp the fallback is the exact model, so bit-identity is the property under test
+	if math.Float64bits(rep.MaxFlowDeviation) != math.Float64bits(exact.MaxFlowDeviation) {
+		t.Fatalf("degraded report deviates from the exact model: %v vs %v",
+			rep.MaxFlowDeviation, exact.MaxFlowDeviation)
+	}
+	snap := col.Snapshot()
+	if snap.TotalDegradations() != len(rep.Degradations) {
+		t.Fatalf("collector counted %d degradations, report lists %d",
+			snap.TotalDegradations(), len(rep.Degradations))
+	}
+	if len(snap.Degradations) != 1 || !strings.Contains(snap.Degradations[0].Reason, "deadline") {
+		t.Fatalf("degradation reason missing or unexpected: %+v", snap.Degradations)
+	}
+}
+
+// TestCacheCountersWorkerCountIndependent: the singleflight cache
+// must report exactly one miss per similarity class and the same
+// hit/miss split for any worker count — the determinism the -stats
+// output relies on.
+func TestCacheCountersWorkerCountIndependent(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	type counts struct{ hits, misses int64 }
+	run := func(workers int) counts {
+		ResetCrossSectionCache()
+		col := obs.NewCollector()
+		ctx := obs.WithCollector(context.Background(), col)
+		if _, err := ValidateContext(ctx, d, Options{Model: ModelNumeric, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		snap := col.Snapshot()
+		if int(snap.CacheMisses) != CrossSectionCacheSize() {
+			t.Fatalf("workers=%d: %d misses but %d cache entries — singleflight must miss once per class",
+				workers, snap.CacheMisses, CrossSectionCacheSize())
+		}
+		if got, want := snap.CacheLookups(), int64(len(d.Channels)); got != want {
+			t.Fatalf("workers=%d: %d lookups for %d channels", workers, got, want)
+		}
+		if snap.CacheHitRate() <= 0 {
+			t.Fatalf("workers=%d: expected a positive hit rate", workers)
+		}
+		return counts{snap.CacheHits, snap.CacheMisses}
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); got != serial {
+			t.Fatalf("workers=%d: counters %+v differ from serial %+v", w, got, serial)
+		}
+	}
+}
+
+// TestToleranceZeroSamplesRejected: the zero value no longer silently
+// means 200 samples — it is rejected with a pointer to the explicit
+// default.
+func TestToleranceZeroSamplesRejected(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	_, err := ToleranceAnalysis(d, ToleranceConfig{WidthSigma: 0.01})
+	if err == nil {
+		t.Fatal("Samples: 0 accepted")
+	}
+	if !strings.Contains(err.Error(), "DefaultToleranceConfig") {
+		t.Fatalf("error %q does not point to DefaultToleranceConfig", err)
+	}
+	def := DefaultToleranceConfig()
+	if def.Samples != 200 || def.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", def)
+	}
+}
+
+// TestToleranceWorkerCountBitIdentical: per-sample derived RNG streams
+// make the Monte Carlo loop schedule-independent — identical
+// statistics for any worker count.
+func TestToleranceWorkerCountBitIdentical(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	base := ToleranceConfig{WidthSigma: 0.02, HeightSigma: 0.02, Samples: 24, Seed: 9}
+	cfgSerial := base
+	cfgSerial.Workers = 1
+	serial, err := ToleranceAnalysis(d, cfgSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 4} {
+		cfg := base
+		cfg.Workers = w
+		rep, err := ToleranceAnalysis(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FlowDev != serial.FlowDev || rep.PerfDev != serial.PerfDev {
+			t.Fatalf("workers=%d diverged from serial:\n%+v\n%+v", w, rep.FlowDev, serial.FlowDev)
+		}
+		for _, k := range serial.YieldBudgets() {
+			if rep.YieldWithin[k] != serial.YieldWithin[k] {
+				t.Fatalf("workers=%d: yield %s diverged", w, k)
+			}
+		}
+	}
+}
+
+// TestToleranceContextCancelled: a cancelled study returns an error
+// wrapping context.Canceled, distinct from validation failures.
+func TestToleranceContextCancelled(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	cfg := DefaultToleranceConfig()
+	cfg.WidthSigma = 0.02
+	_, err := ToleranceAnalysisContext(cancelledCtx(t), d, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestYieldBudgetsSortedNumerically: the rendered yield table iterates
+// budgets in numeric order (5% before 10% before 20%), with
+// non-numeric keys last — not in Go's schedule-dependent map order.
+func TestYieldBudgetsSortedNumerically(t *testing.T) {
+	r := &ToleranceReport{YieldWithin: map[string]float64{
+		"10%": 0.8, "5%": 0.5, "20%": 1, "custom": 0.1,
+	}}
+	got := r.YieldBudgets()
+	want := []string{"5%", "10%", "20%", "custom"}
+	if len(got) != len(want) {
+		t.Fatalf("budgets %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("budgets %v, want %v", got, want)
+		}
+	}
+	out := r.FormatYield()
+	if strings.Index(out, "5%") > strings.Index(out, "10%") ||
+		strings.Index(out, "10%") > strings.Index(out, "20%") {
+		t.Fatalf("FormatYield out of order:\n%s", out)
+	}
+}
+
+// TestPressureDrivenContextCancelled: the pressure-driven path shares
+// the cancellation contract.
+func TestPressureDrivenContextCancelled(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	if _, err := DesignPumpPressuresContext(cancelledCtx(t), d); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DesignPumpPressures: %v does not wrap context.Canceled", err)
+	}
+	if _, err := ValidatePressureDrivenContext(cancelledCtx(t), d, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ValidatePressureDriven: %v does not wrap context.Canceled", err)
+	}
+}

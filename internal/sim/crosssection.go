@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"ooc/internal/fluid"
 	"ooc/internal/linalg"
+	"ooc/internal/obs"
 	"ooc/internal/units"
 )
 
@@ -32,43 +34,40 @@ type crossSectionKey struct {
 	scheme solveScheme
 }
 
-// crossSectionCache memoizes normalized velocity integrals. Guarded by
-// a plain mutex: the mapped values are deterministic functions of the
-// key, so a racing miss recomputes bit-identical data and the
-// last-store-wins overwrite is harmless.
+// csEntry is one in-flight or completed cache slot. The goroutine
+// that created the entry performs the solve, stores val/err, and
+// closes done; every other goroutine that finds the entry waits on
+// done. This singleflight design makes the hit/miss counters
+// deterministic: each unique key is a miss exactly once per cache
+// generation, no matter how many goroutines race on it (the plain
+// memo cache it replaces could miss the same key several times under
+// concurrency, making -stats output schedule-dependent).
+type csEntry struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+// crossSectionCache maps keys to their singleflight slots.
 var crossSectionCache = struct {
 	sync.Mutex
-	m map[crossSectionKey]float64
-}{m: make(map[crossSectionKey]float64)}
+	m map[crossSectionKey]*csEntry
+}{m: make(map[crossSectionKey]*csEntry)}
 
 // ResetCrossSectionCache empties the solve cache. Benchmarks use it to
 // measure cold solves; production code never needs it.
 func ResetCrossSectionCache() {
 	crossSectionCache.Lock()
 	defer crossSectionCache.Unlock()
-	crossSectionCache.m = make(map[crossSectionKey]float64)
+	crossSectionCache.m = make(map[crossSectionKey]*csEntry)
 }
 
-// CrossSectionCacheSize reports the number of memoized solves.
+// CrossSectionCacheSize reports the number of memoized solves
+// (completed or in flight).
 func CrossSectionCacheSize() int {
 	crossSectionCache.Lock()
 	defer crossSectionCache.Unlock()
 	return len(crossSectionCache.m)
-}
-
-// lookupCrossSection returns the cached normalized integral for key.
-func lookupCrossSection(key crossSectionKey) (float64, bool) {
-	crossSectionCache.Lock()
-	defer crossSectionCache.Unlock()
-	v, ok := crossSectionCache.m[key]
-	return v, ok
-}
-
-// storeCrossSection memoizes a normalized integral.
-func storeCrossSection(key crossSectionKey, v float64) {
-	crossSectionCache.Lock()
-	defer crossSectionCache.Unlock()
-	crossSectionCache.m[key] = v
 }
 
 // normalizedIntegral solves the normalized duct problem ∇²u = −1 on
@@ -79,11 +78,47 @@ func storeCrossSection(key crossSectionKey, v float64) {
 //
 // The solve itself is bit-deterministic (see SolvePoissonSOR), so a
 // cache hit is bit-identical to recomputing — the cache is invisible
-// in results.
-func normalizedIntegral(key crossSectionKey) (float64, error) {
-	if v, ok := lookupCrossSection(key); ok {
-		return v, nil
+// in results. Lookups are counted as hits/misses in the obs collector
+// carried by ctx; the singleflight protocol guarantees exactly one
+// miss per unique key, so the counts are worker-count-independent.
+// Failed solves (including cancellation/deadline aborts) are never
+// cached: the owning goroutine removes its slot so a later call can
+// retry with a fresh budget.
+func normalizedIntegral(ctx context.Context, key crossSectionKey) (float64, error) {
+	crossSectionCache.Lock()
+	if e, ok := crossSectionCache.m[key]; ok {
+		crossSectionCache.Unlock()
+		obs.FromContext(ctx).RecordCacheHit()
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			// The owning solve keeps running under its own context; this
+			// waiter just stops waiting for it.
+			return 0, fmt.Errorf("sim: waiting for cross-section solve: %w", ctx.Err())
+		}
 	}
+	e := &csEntry{done: make(chan struct{})}
+	crossSectionCache.m[key] = e
+	crossSectionCache.Unlock()
+	obs.FromContext(ctx).RecordCacheMiss()
+
+	e.val, e.err = solveNormalized(ctx, key)
+	if e.err != nil {
+		crossSectionCache.Lock()
+		// Only remove our own slot: a concurrent Reset may have replaced
+		// the map or another goroutine re-created the key.
+		if cur, ok := crossSectionCache.m[key]; ok && cur == e {
+			delete(crossSectionCache.m, key)
+		}
+		crossSectionCache.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// solveNormalized performs the actual normalized cross-section solve.
+func solveNormalized(ctx context.Context, key crossSectionKey) (float64, error) {
 	aspect, n := key.aspect, key.n
 	ny := n + 1
 	nx := int(float64(n)*aspect) + 1
@@ -107,7 +142,7 @@ func normalizedIntegral(key crossSectionKey) (float64, error) {
 	for i := range f {
 		f[i] = 1 // normalized source: ∇²u = −1
 	}
-	if _, err := linalg.SolvePoissonSOR(g, f, hx, hy, linalg.SORPoissonOptions{Tol: 1e-11}); err != nil {
+	if _, err := linalg.SolvePoissonSORContext(ctx, g, f, hx, hy, linalg.SORPoissonOptions{Tol: 1e-11}); err != nil {
 		return 0, fmt.Errorf("sim: cross-section solve: %w", err)
 	}
 
@@ -123,7 +158,6 @@ func normalizedIntegral(key crossSectionKey) (float64, error) {
 	if integral <= 0 {
 		return 0, fmt.Errorf("sim: degenerate cross-section integral")
 	}
-	storeCrossSection(key, integral)
 	return integral, nil
 }
 
@@ -144,13 +178,23 @@ func normalizedIntegral(key crossSectionKey) (float64, error) {
 // observation that Eq. 6 is only an approximation).
 //
 // The solve runs on the aspect-normalized section and is memoized in
-// a process-wide cache keyed by (normalized aspect ratio, grid
-// resolution, scheme); repeated channels in the same similarity class
-// solve once. Cached and uncached calls return bit-identical results.
+// a process-wide singleflight cache keyed by (normalized aspect ratio,
+// grid resolution, scheme); repeated channels in the same similarity
+// class solve once. Cached and uncached calls return bit-identical
+// results.
 //
 // n sets the grid resolution across the channel height (the width gets
 // proportionally more cells); n ≥ 8 required.
 func NumericResistance(cs fluid.CrossSection, length units.Length, mu units.Viscosity, n int) (units.HydraulicResistance, error) {
+	return NumericResistanceContext(context.Background(), cs, length, mu, n)
+}
+
+// NumericResistanceContext is NumericResistance with cooperative
+// cancellation: the underlying SOR solve checks ctx between sweeps,
+// and cache waiters stop waiting when ctx is done. Cancellation and
+// deadline errors wrap context.Canceled / context.DeadlineExceeded
+// and are therefore distinguishable from numeric failures.
+func NumericResistanceContext(ctx context.Context, cs fluid.CrossSection, length units.Length, mu units.Viscosity, n int) (units.HydraulicResistance, error) {
 	if err := cs.Validate(); err != nil {
 		return 0, err
 	}
@@ -160,7 +204,7 @@ func NumericResistance(cs fluid.CrossSection, length units.Length, mu units.Visc
 	if n < 8 {
 		return 0, fmt.Errorf("sim: grid resolution %d too coarse (need ≥ 8)", n)
 	}
-	integral, err := normalizedIntegral(crossSectionKey{
+	integral, err := normalizedIntegral(ctx, crossSectionKey{
 		aspect: cs.NormalizedAspect(),
 		n:      n,
 		scheme: schemeFDMSOR,

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ooc/internal/core"
@@ -25,7 +26,13 @@ type PumpPressures struct {
 // pressures that, according to the design, produce exactly the planned
 // flows.
 func DesignPumpPressures(d *core.Design) (PumpPressures, error) {
-	b, err := buildNetwork(d, Options{
+	return DesignPumpPressuresContext(context.Background(), d)
+}
+
+// DesignPumpPressuresContext is DesignPumpPressures with cooperative
+// cancellation (the underlying network build checks ctx).
+func DesignPumpPressuresContext(ctx context.Context, d *core.Design) (PumpPressures, error) {
+	b, err := buildNetwork(ctx, d, Options{
 		Model:                 ModelApprox,
 		DisableBendLosses:     true,
 		DisableJunctionLosses: true,
@@ -62,11 +69,17 @@ func DesignPumpPressures(d *core.Design) (PumpPressures, error) {
 // implicit choice of flow-rate pumps ("flow rate settings for the
 // pumps" are the method's output).
 func ValidatePressureDriven(d *core.Design, opt Options) (*Report, error) {
-	set, err := DesignPumpPressures(d)
+	return ValidatePressureDrivenContext(context.Background(), d, opt)
+}
+
+// ValidatePressureDrivenContext is ValidatePressureDriven with the
+// cancellation and degradation semantics of ValidateContext.
+func ValidatePressureDrivenContext(ctx context.Context, d *core.Design, opt Options) (*Report, error) {
+	set, err := DesignPumpPressuresContext(ctx, d)
 	if err != nil {
 		return nil, err
 	}
-	b, err := buildNetwork(d, opt)
+	b, err := buildNetwork(ctx, d, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -86,5 +99,10 @@ func ValidatePressureDriven(d *core.Design, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return buildReport(d, b, sol, sol.MaxKCLResidual())
+	rep, err := buildReport(d, b, sol, sol.MaxKCLResidual())
+	if err != nil {
+		return nil, err
+	}
+	rep.Degradations = b.degraded
+	return rep, nil
 }

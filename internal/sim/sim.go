@@ -15,12 +15,15 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"ooc/internal/core"
 	"ooc/internal/fluid"
 	"ooc/internal/netlist"
+	"ooc/internal/obs"
 	"ooc/internal/parallel"
 	"ooc/internal/units"
 )
@@ -115,6 +118,12 @@ type Report struct {
 	// PumpPressure is the pressure difference the inlet pump must
 	// sustain between the inlet and outlet ports.
 	PumpPressure units.Pressure
+	// Degradations lists, in channel-index order, every channel whose
+	// ModelNumeric resistance fell back to the analytic exact model
+	// because the context deadline expired mid-validation. Empty for a
+	// full-fidelity report. The same events are counted in the obs
+	// collector carried by the context.
+	Degradations []string
 }
 
 // isTapNode reports whether a node is a supply-feed or discharge-drain
@@ -149,6 +158,9 @@ type builtNetwork struct {
 	net     *netlist.Network
 	nodes   map[string]netlist.NodeID
 	chanIDs []netlist.ChannelID
+	// degraded lists channels (in index order) whose numeric
+	// resistance fell back to the analytic model on deadline.
+	degraded []string
 }
 
 // node returns (creating if needed) the netlist node for a design node
@@ -162,11 +174,36 @@ func (b *builtNetwork) node(name string) netlist.NodeID {
 	return id
 }
 
+// degradeReason is the obs degradation label for the numeric → exact
+// resistance fallback.
+const degradeReason = "numeric resistance -> analytic exact (deadline)"
+
+// ctxAbort decides whether a context state aborts the build.
+// Cancellation always aborts; an expired deadline aborts unless the
+// model is ModelNumeric, whose channels degrade gracefully to the
+// analytic resistance instead.
+func ctxAbort(ctx context.Context, numeric bool) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if numeric && errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return fmt.Errorf("sim: validation aborted: %w", err)
+}
+
 // buildNetwork compiles the design's channels into a lumped network
 // under the selected model, without pump sources.
-func buildNetwork(d *core.Design, opt Options) (*builtNetwork, error) {
+func buildNetwork(ctx context.Context, d *core.Design, opt Options) (*builtNetwork, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d == nil || len(d.Channels) == 0 {
 		return nil, fmt.Errorf("sim: empty design")
+	}
+	if err := ctxAbort(ctx, opt.Model == ModelNumeric); err != nil {
+		return nil, err
 	}
 	med := d.Resolved.Spec.Fluid
 	mu := med.Viscosity
@@ -198,6 +235,14 @@ func buildNetwork(d *core.Design, opt Options) (*builtNetwork, error) {
 	// shared pool. The pool collects results in channel-index order
 	// and joins every error, so the build is bit-identical to a serial
 	// one for any worker count.
+	//
+	// The fan-out deliberately uses Map, not MapContext: every channel
+	// must produce a result even after the deadline expires, because a
+	// ModelNumeric channel whose solve is cut short degrades to the
+	// analytic exact resistance rather than failing — the slot records
+	// the downgrade. Cancellation (as opposed to deadline) propagates
+	// out of the per-channel solve and aborts the whole build.
+	degraded := make([]bool, len(d.Channels))
 	channelResistance := func(i int) (units.HydraulicResistance, error) {
 		c := &d.Channels[i]
 		var (
@@ -210,7 +255,14 @@ func buildNetwork(d *core.Design, opt Options) (*builtNetwork, error) {
 		case ModelExact:
 			r, err = fluid.ResistanceExact(c.Cross, c.Length, mu)
 		case ModelNumeric:
-			r, err = NumericResistance(c.Cross, c.Length, mu, numericN)
+			r, err = NumericResistanceContext(ctx, c.Cross, c.Length, mu, numericN)
+			if err != nil && errors.Is(err, context.DeadlineExceeded) {
+				r, err = fluid.ResistanceExact(c.Cross, c.Length, mu)
+				if err == nil {
+					degraded[i] = true
+					obs.FromContext(ctx).RecordDegradation(degradeReason)
+				}
+			}
 		}
 		if err != nil {
 			return 0, fmt.Errorf("sim: channel %q: %w", c.Name, err)
@@ -249,6 +301,11 @@ func buildNetwork(d *core.Design, opt Options) (*builtNetwork, error) {
 	resistances, err := parallel.Map(len(d.Channels), opt.buildWorkers(), channelResistance)
 	if err != nil {
 		return nil, err
+	}
+	for i, dg := range degraded {
+		if dg {
+			b.degraded = append(b.degraded, d.Channels[i].Name)
+		}
 	}
 
 	// Network assembly is serial and in channel-index order: node and
@@ -332,7 +389,19 @@ func buildReport(d *core.Design, b *builtNetwork, sol flowSolution, kclResidual 
 // model with the designed (flow-controlled) pumps and measures module
 // flow and perfusion deviations.
 func Validate(d *core.Design, opt Options) (*Report, error) {
-	b, err := buildNetwork(d, opt)
+	return ValidateContext(context.Background(), d, opt)
+}
+
+// ValidateContext is Validate with cooperative cancellation and
+// graceful degradation. Cancellation aborts the validation with an
+// error wrapping context.Canceled. An expired deadline aborts the
+// analytic models, but under ModelNumeric each channel whose
+// cross-section solve is cut short falls back to the analytic exact
+// resistance; the validation completes and the report lists the
+// downgraded channels in Report.Degradations (the obs collector
+// carried by ctx counts them too).
+func ValidateContext(ctx context.Context, d *core.Design, opt Options) (*Report, error) {
+	b, err := buildNetwork(ctx, d, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -352,5 +421,10 @@ func Validate(d *core.Design, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return buildReport(d, b, sol, sol.MaxKCLResidual())
+	rep, err := buildReport(d, b, sol, sol.MaxKCLResidual())
+	if err != nil {
+		return nil, err
+	}
+	rep.Degradations = b.degraded
+	return rep, nil
 }

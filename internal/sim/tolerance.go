@@ -1,13 +1,17 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"ooc/internal/core"
 	"ooc/internal/fluid"
+	"ooc/internal/parallel"
 	"ooc/internal/units"
 )
 
@@ -24,13 +28,28 @@ type ToleranceConfig struct {
 	// LengthSigma is the relative standard deviation of channel
 	// lengths (usually far smaller; masks are accurate).
 	LengthSigma float64
-	// Samples is the number of Monte Carlo fabrications. Zero selects
-	// 200.
+	// Samples is the number of Monte Carlo fabrications. It must be
+	// at least 1; use DefaultToleranceConfig for the historical
+	// default of 200. (Earlier revisions silently rewrote 0 to 200,
+	// the zero-as-sentinel pattern this package has been purging.)
 	Samples int
-	// Seed makes the study reproducible. Zero selects 1.
+	// Seed makes the study reproducible. Every seed — including 0 —
+	// is used as given; each sample derives its own RNG stream from
+	// (Seed, sample index), so results are bit-identical for any
+	// worker count.
 	Seed int64
+	// Workers bounds the goroutines validating samples concurrently;
+	// ≤ 0 selects GOMAXPROCS.
+	Workers int
 	// Options configures the per-sample validation.
 	Options Options
+}
+
+// DefaultToleranceConfig returns the study defaults historically
+// applied to the zero value: 200 samples, seed 1. Sigmas start at
+// zero — callers state the tolerances they want to study.
+func DefaultToleranceConfig() ToleranceConfig {
+	return ToleranceConfig{Samples: 200, Seed: 1}
 }
 
 // ToleranceReport summarizes the Monte Carlo study.
@@ -43,8 +62,55 @@ type ToleranceReport struct {
 	FlowDev, PerfDev DeviationStats
 	// YieldWithin reports the fraction of fabricated chips whose worst
 	// module-flow deviation stays within the given budget (fraction,
-	// e.g. 0.10 for 10 %).
+	// e.g. 0.10 for 10 %). Iterate via YieldBudgets (or render with
+	// FormatYield) — a raw map range is schedule-ordered and would
+	// make printed reports non-deterministic.
 	YieldWithin map[string]float64
+}
+
+// YieldBudgets returns the YieldWithin keys sorted by their numeric
+// budget (keys without a leading number sort last, alphabetically) —
+// the deterministic iteration order for rendering the map.
+func (r *ToleranceReport) YieldBudgets() []string {
+	keys := make([]string, 0, len(r.YieldWithin))
+	for k := range r.YieldWithin {
+		keys = append(keys, k)
+	}
+	numeric := func(s string) (float64, bool) {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return v, err == nil
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		vi, oki := numeric(keys[i])
+		vj, okj := numeric(keys[j])
+		switch {
+		case oki && okj:
+			if vi < vj {
+				return true
+			}
+			if vj < vi {
+				return false
+			}
+			return keys[i] < keys[j]
+		case oki:
+			return true
+		case okj:
+			return false
+		default:
+			return keys[i] < keys[j]
+		}
+	})
+	return keys
+}
+
+// FormatYield renders the yield table in budget order, one line per
+// budget — byte-deterministic for a given report.
+func (r *ToleranceReport) FormatYield() string {
+	var b strings.Builder
+	for _, k := range r.YieldBudgets() {
+		fmt.Fprintf(&b, "yield within %s: %.1f%%\n", k, r.YieldWithin[k]*100)
+	}
+	return b.String()
 }
 
 // DeviationStats holds distribution statistics of a deviation metric.
@@ -56,6 +122,26 @@ type DeviationStats struct {
 // dimensional errors and validates each fabrication against the
 // original specification.
 func ToleranceAnalysis(d *core.Design, cfg ToleranceConfig) (*ToleranceReport, error) {
+	return ToleranceAnalysisContext(context.Background(), d, cfg)
+}
+
+// sampleSeed derives sample i's RNG seed from the study seed with a
+// splitmix64-style mix. Each sample owns an independent stream, so
+// the Monte Carlo loop parallelizes with bit-identical results for
+// any worker count (the former implementation threaded one shared
+// generator through the loop, which serialized it).
+func sampleSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ToleranceAnalysisContext is ToleranceAnalysis with cooperative
+// cancellation: samples are validated through the shared pool, which
+// stops claiming new samples once ctx is done and returns an error
+// wrapping ctx.Err().
+func ToleranceAnalysisContext(ctx context.Context, d *core.Design, cfg ToleranceConfig) (*ToleranceReport, error) {
 	if d == nil || len(d.Channels) == 0 {
 		return nil, fmt.Errorf("sim: empty design")
 	}
@@ -66,32 +152,32 @@ func ToleranceAnalysis(d *core.Design, cfg ToleranceConfig) (*ToleranceReport, e
 		return nil, fmt.Errorf("sim: tolerance sigma above 20%% is outside the model's validity")
 	}
 	samples := cfg.Samples
-	if samples == 0 {
-		samples = 200
-	}
 	if samples < 1 || samples > 100000 {
-		return nil, fmt.Errorf("sim: sample count %d out of range", samples)
+		return nil, fmt.Errorf("sim: sample count %d out of range (want 1..100000; use DefaultToleranceConfig for the 200-sample default)", samples)
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	nominal, err := Validate(d, cfg.Options)
+	nominal, err := ValidateContext(ctx, d, cfg.Options)
 	if err != nil {
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	flowDevs := make([]float64, 0, samples)
-	perfDevs := make([]float64, 0, samples)
-	for s := 0; s < samples; s++ {
+	type devPair struct{ flow, perf float64 }
+	devs, err := parallel.MapContext(ctx, samples, cfg.Workers, func(s int) (devPair, error) {
+		rng := rand.New(rand.NewSource(sampleSeed(cfg.Seed, s)))
 		perturbed := perturbDesign(d, cfg, rng)
-		rep, err := Validate(perturbed, cfg.Options)
+		rep, err := ValidateContext(ctx, perturbed, cfg.Options)
 		if err != nil {
-			return nil, fmt.Errorf("sim: sample %d: %w", s, err)
+			return devPair{}, fmt.Errorf("sim: sample %d: %w", s, err)
 		}
-		flowDevs = append(flowDevs, rep.MaxFlowDeviation)
-		perfDevs = append(perfDevs, rep.MaxPerfDeviation)
+		return devPair{flow: rep.MaxFlowDeviation, perf: rep.MaxPerfDeviation}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	flowDevs := make([]float64, samples)
+	perfDevs := make([]float64, samples)
+	for i, dv := range devs {
+		flowDevs[i] = dv.flow
+		perfDevs[i] = dv.perf
 	}
 
 	rep := &ToleranceReport{

@@ -33,9 +33,13 @@
 package ooc
 
 import (
+	"context"
+
 	"ooc/internal/core"
 	"ooc/internal/field"
 	"ooc/internal/fluid"
+	"ooc/internal/linalg"
+	"ooc/internal/obs"
 	"ooc/internal/optimize"
 	"ooc/internal/physio"
 	"ooc/internal/render"
@@ -181,6 +185,10 @@ const (
 	// ModelApprox validates with the designer's own approximation;
 	// with bend losses disabled this must reproduce the design exactly.
 	ModelApprox = sim.ModelApprox
+	// ModelNumeric validates with the FDM duct-flow solve (the
+	// CFD-lite leg); under a deadline its channels degrade gracefully
+	// to ModelExact, recorded in ValidationReport.Degradations.
+	ModelNumeric = sim.ModelNumeric
 )
 
 // Validate re-solves the generated geometry under a high-fidelity
@@ -188,6 +196,47 @@ const (
 // the observables the paper extracts from CFD simulation.
 func Validate(d *Design, opt ValidationOptions) (*ValidationReport, error) {
 	return sim.Validate(d, opt)
+}
+
+// ValidateContext is Validate with cooperative cancellation: the
+// network build and its iterative solves check ctx, cancellation and
+// deadline errors wrap context.Canceled / context.DeadlineExceeded
+// (use errors.Is to tell them from ErrNoConvergence), and under
+// ModelNumeric a deadline degrades per-channel to the analytic exact
+// model instead of failing (ValidationReport.Degradations lists the
+// affected channels).
+func ValidateContext(ctx context.Context, d *Design, opt ValidationOptions) (*ValidationReport, error) {
+	return sim.ValidateContext(ctx, d, opt)
+}
+
+// ErrNoConvergence is wrapped by every iterative-solver failure that
+// exhausted its iteration budget — distinguishable with errors.Is
+// from a cancellation or deadline abort.
+var ErrNoConvergence = linalg.ErrNoConvergence
+
+// Solver telemetry. Iterative solves, cross-section cache traffic and
+// graceful model degradations are recorded into the TelemetryCollector
+// carried by the context (or a process-wide default when none is
+// installed); its Snapshot is a deterministic Summary whose Format
+// rendering is byte-identical for any worker count.
+type (
+	// TelemetryCollector aggregates solver/cache/degradation events.
+	TelemetryCollector = obs.Collector
+	// TelemetrySummary is a deterministic snapshot of a collector.
+	TelemetrySummary = obs.Summary
+	// SolveStats is one iterative solve's outcome, including partial
+	// progress on aborted solves.
+	SolveStats = obs.SolveStats
+)
+
+// NewTelemetryCollector returns an empty telemetry collector.
+func NewTelemetryCollector() *TelemetryCollector { return obs.NewCollector() }
+
+// WithTelemetry returns a context carrying the collector; validation
+// and solves running under it record there instead of the process
+// default.
+func WithTelemetry(ctx context.Context, c *TelemetryCollector) context.Context {
+	return obs.WithCollector(ctx, c)
 }
 
 // RenderSVG draws the chip layout as an SVG document.
@@ -276,11 +325,24 @@ type (
 	DeviationStats = sim.DeviationStats
 )
 
+// DefaultToleranceConfig returns the Monte Carlo study defaults
+// (200 samples, seed 1). The zero ToleranceConfig is rejected —
+// Samples must be at least 1.
+func DefaultToleranceConfig() ToleranceConfig { return sim.DefaultToleranceConfig() }
+
 // AnalyzeTolerance fabricates the design many times with random
 // dimensional errors and reports the resulting deviation distribution
 // and yield.
 func AnalyzeTolerance(d *Design, cfg ToleranceConfig) (*ToleranceReport, error) {
 	return sim.ToleranceAnalysis(d, cfg)
+}
+
+// AnalyzeToleranceContext is AnalyzeTolerance with cooperative
+// cancellation: samples run through the shared pool, which stops
+// claiming new samples once ctx is done. Results are bit-identical
+// for any ToleranceConfig.Workers value.
+func AnalyzeToleranceContext(ctx context.Context, d *Design, cfg ToleranceConfig) (*ToleranceReport, error) {
+	return sim.ToleranceAnalysisContext(ctx, d, cfg)
 }
 
 // PumpPressures are pressure-controlled pump set points derived from
@@ -293,11 +355,23 @@ func DesignPumpPressures(d *Design) (PumpPressures, error) {
 	return sim.DesignPumpPressures(d)
 }
 
+// DesignPumpPressuresContext is DesignPumpPressures with cooperative
+// cancellation (the underlying network build checks ctx).
+func DesignPumpPressuresContext(ctx context.Context, d *Design) (PumpPressures, error) {
+	return sim.DesignPumpPressuresContext(ctx, d)
+}
+
 // ValidatePressureDriven validates the chip under pressure-controlled
 // pumping at the designer-model set pressures (instead of the
 // flow-controlled pumps the method outputs).
 func ValidatePressureDriven(d *Design, opt ValidationOptions) (*ValidationReport, error) {
 	return sim.ValidatePressureDriven(d, opt)
+}
+
+// ValidatePressureDrivenContext is ValidatePressureDriven with the
+// cancellation and degradation semantics of ValidateContext.
+func ValidatePressureDrivenContext(ctx context.Context, d *Design, opt ValidationOptions) (*ValidationReport, error) {
+	return sim.ValidatePressureDrivenContext(ctx, d, opt)
 }
 
 // RenderDXF exports the chip layout as an AutoCAD R12 DXF document for
@@ -324,6 +398,14 @@ type (
 // maps (FlowField.RenderPNG).
 func SolveFlowField(d *Design, opt FieldOptions) (*FlowField, error) {
 	return field.Solve(d, opt)
+}
+
+// SolveFlowFieldContext is SolveFlowField with cooperative
+// cancellation: the CG iteration checks ctx and an aborted solve
+// returns an error wrapping ctx.Err(), distinct from
+// ErrNoConvergence.
+func SolveFlowFieldContext(ctx context.Context, d *Design, opt FieldOptions) (*FlowField, error) {
+	return field.SolveContext(ctx, d, opt)
 }
 
 // LoadDesignJSON reconstructs a design from its RenderJSON
@@ -377,8 +459,22 @@ const (
 // the constraints.
 var ErrInfeasible = optimize.ErrInfeasible
 
+// DefaultOptimizeConstraints returns the search's practical defaults
+// (a 5 % flow-deviation budget). The zero OptimizeConstraints means
+// what it says: a zero deviation budget, which no real candidate
+// meets.
+func DefaultOptimizeConstraints() OptimizeConstraints { return optimize.DefaultConstraints() }
+
 // Optimize searches the designer's free geometric parameters for the
 // best feasible chip under the given objective and constraints.
 func Optimize(spec Spec, opt OptimizeOptions) (*OptimizeResult, error) {
 	return optimize.Optimize(spec, opt)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: the
+// candidate loop checks ctx between candidates and an aborted search
+// returns the partial OptimizeResult together with an error wrapping
+// ctx.Err().
+func OptimizeContext(ctx context.Context, spec Spec, opt OptimizeOptions) (*OptimizeResult, error) {
+	return optimize.Search(ctx, spec, opt)
 }

@@ -15,3 +15,28 @@ go run ./cmd/ooclint ./...
 # bit-rot in the parallel evaluation path and the cross-section cache
 # without paying for a full measurement run.
 go test -run '^$' -bench 'BenchmarkTableIParallel|BenchmarkCrossSectionCached' -benchtime=1x .
+
+# Cancellation smoke: an already-expired deadline must abort the grid
+# evaluation promptly (cooperative ctx checks in every solver loop),
+# exit nonzero, and say why. GOTRACEBACK=all would dump goroutines on
+# a deadlock; `timeout` turns a hang (leaked worker blocking exit)
+# into a failure.
+go build -o /tmp/oocbench-smoke ./cmd/oocbench
+if out=$(timeout 30 env GOTRACEBACK=all /tmp/oocbench-smoke -timeout 1ms 2>&1); then
+    echo "oocbench -timeout 1ms should have exited nonzero" >&2
+    exit 1
+fi
+echo "$out" | grep -q "deadline" || {
+    echo "oocbench -timeout 1ms did not mention the deadline:" >&2
+    echo "$out" >&2
+    exit 1
+}
+rm -f /tmp/oocbench-smoke
+
+# Telemetry smoke: -stats on the Fig. 4 instance must report cache
+# traffic with a positive hit rate (same-aspect channels share one
+# normalized cross-section solve).
+go run ./cmd/oocbench -fig4 -stats | grep -q "cross-section cache:" || {
+    echo "oocbench -stats did not report cache telemetry" >&2
+    exit 1
+}
