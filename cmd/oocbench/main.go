@@ -62,23 +62,20 @@ type config struct {
 // simOptions resolves the -model flag. "auto" keeps the historical
 // analytic-exact validation, except under -stats where the numeric
 // model is selected so the telemetry has iterative solves and cache
-// traffic to report.
+// traffic to report; everything else goes through the shared
+// sim.ParseModel spelling check.
 func (c config) simOptions() (sim.Options, error) {
-	switch c.model {
-	case "", "auto":
+	if c.model == "" || c.model == "auto" {
 		if c.stats {
 			return sim.Options{Model: sim.ModelNumeric}, nil
 		}
 		return sim.Options{}, nil
-	case "exact":
-		return sim.Options{}, nil
-	case "approx":
-		return sim.Options{Model: sim.ModelApprox}, nil
-	case "numeric":
-		return sim.Options{Model: sim.ModelNumeric}, nil
-	default:
-		return sim.Options{}, fmt.Errorf("unknown -model %q (want auto, exact, approx or numeric)", c.model)
 	}
+	m, err := sim.ParseModel(c.model)
+	if err != nil {
+		return sim.Options{}, fmt.Errorf("-model: %w (or auto)", err)
+	}
+	return sim.Options{Model: m}, nil
 }
 
 func main() {
@@ -93,6 +90,15 @@ func main() {
 	flag.BoolVar(&cfg.stats, "stats", false, "print solver/cache telemetry after the report (selects the numeric resistance model under -model auto)")
 	flag.StringVar(&cfg.model, "model", "auto", "validation resistance model: auto, exact, approx or numeric")
 	flag.Parse()
+
+	// A typo'd -model is a usage error: fail before the grid run
+	// starts, with the valid spellings, and exit 2 like flag package
+	// parse failures do.
+	if _, err := cfg.simOptions(); err != nil {
+		fmt.Fprintln(os.Stderr, "oocbench:", err)
+		fmt.Fprintf(os.Stderr, "usage: oocbench [-model {auto, %s}] [flags]\n", sim.ModelNames)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ooc/internal/sim"
 )
 
 // TestParallelOutputByteIdentical: `oocbench -csv` must print the same
@@ -155,5 +157,48 @@ func TestModelFlagRejectsUnknown(t *testing.T) {
 	err := run(context.Background(), config{model: "spectral"}, &out, &errOut)
 	if err == nil || !strings.Contains(err.Error(), "-model") {
 		t.Fatalf("unknown model must fail with a -model error, got %v", err)
+	}
+}
+
+// TestModelFlagValidation: table over every -model spelling, including
+// the oocbench-specific "auto" (numeric under -stats, exact otherwise)
+// and the shared spellings from sim.ParseModel. Unknown values must
+// error with a message listing the valid models.
+func TestModelFlagValidation(t *testing.T) {
+	cases := []struct {
+		model   string
+		stats   bool
+		want    sim.Model
+		wantErr bool
+	}{
+		{model: "", want: sim.ModelExact},
+		{model: "auto", want: sim.ModelExact},
+		{model: "auto", stats: true, want: sim.ModelNumeric},
+		{model: "exact", want: sim.ModelExact},
+		{model: "exact", stats: true, want: sim.ModelExact}, // explicit model beats -stats
+		{model: "approx", want: sim.ModelApprox},
+		{model: "numeric", want: sim.ModelNumeric},
+		{model: "bogus", wantErr: true},
+		{model: "Numeric", wantErr: true},
+	}
+	for _, tc := range cases {
+		opt, err := config{model: tc.model, stats: tc.stats}.simOptions()
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("model %q: expected an error", tc.model)
+				continue
+			}
+			if !strings.Contains(err.Error(), sim.ModelNames) {
+				t.Errorf("model %q: error does not list valid models: %v", tc.model, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("model %q stats=%v: %v", tc.model, tc.stats, err)
+			continue
+		}
+		if opt.Model != tc.want {
+			t.Errorf("model %q stats=%v: got %v want %v", tc.model, tc.stats, opt.Model, tc.want)
+		}
 	}
 }

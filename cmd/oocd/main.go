@@ -1,0 +1,97 @@
+// Command oocd is the design-as-a-service daemon: it serves the
+// spec → design → validation pipeline over HTTP (internal/server).
+//
+// Endpoints:
+//
+//	POST /v1/design             specification in, generated design out
+//	POST /v1/validate?model=m   specification in, validation report out
+//	GET  /healthz               liveness
+//	GET  /metrics               text metrics exposition
+//
+// Every request runs under a deadline budget: the -timeout default,
+// overridable per request with ?timeout= up to -max-timeout.
+// Concurrency is bounded (-concurrent solves, -queue waiters; overload
+// answers 429). Identical requests are deduplicated and cached
+// (-cache entries, keyed on the canonical spec bytes).
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener closes,
+// in-flight requests get -drain to finish, stragglers are cancelled
+// through the context plumbing. The final metrics exposition is
+// printed to stderr on exit with -stats.
+//
+// Usage:
+//
+//	oocd -addr :8080
+//	oocd -addr 127.0.0.1:0 -timeout 5s -stats   # ephemeral port, printed on stdout
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ooc/internal/server"
+)
+
+func main() {
+	cfg := struct {
+		addr       string
+		concurrent int
+		queue      int
+		cache      int
+		timeout    time.Duration
+		maxTimeout time.Duration
+		drain      time.Duration
+		stats      bool
+	}{}
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	flag.IntVar(&cfg.concurrent, "concurrent", 0, "max concurrent solves (0 = worker-pool width)")
+	flag.IntVar(&cfg.queue, "queue", 0, "max queued requests before 429 (0 = 4x concurrent)")
+	flag.IntVar(&cfg.cache, "cache", 0, "response cache entries (0 = 256)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline budget (0 = 15s)")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "cap on client-requested ?timeout= (0 = 60s)")
+	flag.DurationVar(&cfg.drain, "drain", 0, "graceful-drain budget on shutdown (0 = 5s)")
+	flag.BoolVar(&cfg.stats, "stats", false, "print the final metrics exposition to stderr on exit")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: oocd [flags]")
+		os.Exit(2)
+	}
+
+	if err := run(cfg.addr, server.Config{
+		MaxConcurrent:  cfg.concurrent,
+		QueueDepth:     cfg.queue,
+		CacheSize:      cfg.cache,
+		DefaultTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+		DrainTimeout:   cfg.drain,
+	}, cfg.stats); err != nil {
+		fmt.Fprintln(os.Stderr, "oocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg server.Config, stats bool) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s := server.New(cfg)
+
+	// The resolved address goes to stdout so scripts using port 0 can
+	// discover the ephemeral port; everything else is stderr.
+	fmt.Printf("oocd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = s.Serve(ctx, ln)
+	if stats {
+		fmt.Fprint(os.Stderr, s.MetricsText())
+	}
+	return err
+}

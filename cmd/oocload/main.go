@@ -1,0 +1,260 @@
+// Command oocload is the load generator for the oocd daemon: it fires
+// a configurable number of requests at /v1/design or /v1/validate from
+// a pool of concurrent workers and reports throughput and latency
+// percentiles. Because the daemon caches canonicalized specs, a run
+// against one spec measures the warm-cache serving path after the
+// first solve; -distinct requests a spread of built-in use cases so
+// every request is a cold solve instead.
+//
+// Usage:
+//
+//	oocload -url http://localhost:8080 -n 200 -c 8
+//	oocload -url http://localhost:8080 -endpoint validate -model numeric
+//	oocload -url http://localhost:8080 -smoke   # health+design+metrics probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ooc/internal/parallel"
+	"ooc/internal/sim"
+	"ooc/internal/specio"
+	"ooc/internal/usecases"
+)
+
+type config struct {
+	url      string
+	endpoint string
+	model    string
+	spec     string
+	n        int
+	workers  int
+	distinct bool
+	smoke    bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.url, "url", "http://localhost:8080", "base URL of the oocd daemon")
+	flag.StringVar(&cfg.endpoint, "endpoint", "design", "endpoint to load: design or validate")
+	flag.StringVar(&cfg.model, "model", "exact", "resistance model for -endpoint validate")
+	flag.StringVar(&cfg.spec, "spec", "male_simple", "built-in use case to post")
+	flag.IntVar(&cfg.n, "n", 100, "total number of requests")
+	flag.IntVar(&cfg.workers, "c", 8, "concurrent workers")
+	flag.BoolVar(&cfg.distinct, "distinct", false, "rotate through all built-in use cases (defeats the response cache)")
+	flag.BoolVar(&cfg.smoke, "smoke", false, "probe /healthz, one /v1/design and /metrics, then exit")
+	flag.Parse()
+
+	path, err := cfg.requestPath()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocload:", err)
+		fmt.Fprintf(os.Stderr, "usage: oocload [-endpoint {design, validate}] [-model {%s}] [flags]\n", sim.ModelNames)
+		os.Exit(2)
+	}
+	if cfg.smoke {
+		err = smoke(cfg.url)
+	} else {
+		err = run(cfg, path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocload:", err)
+		os.Exit(1)
+	}
+}
+
+// requestPath validates the endpoint/model flags and builds the
+// request path. Unknown spellings are usage errors (exit 2), caught
+// before any traffic is sent.
+func (c config) requestPath() (string, error) {
+	m, err := sim.ParseModel(c.model)
+	if err != nil {
+		return "", err
+	}
+	switch c.endpoint {
+	case "design":
+		return "/v1/design", nil
+	case "validate":
+		return "/v1/validate?model=" + m.String(), nil
+	default:
+		return "", fmt.Errorf("unknown endpoint %q (valid endpoints: design, validate)", c.endpoint)
+	}
+}
+
+// bodies materializes the request payloads: one spec repeated, or the
+// full use-case catalogue when -distinct.
+func bodies(cfg config) ([][]byte, error) {
+	var names []string
+	if cfg.distinct {
+		for _, uc := range usecases.All() {
+			names = append(names, uc.Name)
+		}
+	} else {
+		names = []string{cfg.spec}
+	}
+	payloads := make([][]byte, 0, len(names))
+	for _, name := range names {
+		uc, err := usecases.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := specio.Marshal(uc.Build())
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, raw)
+	}
+	return payloads, nil
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the transport reuses the connection.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		_ = resp.Body.Close()
+		return resp.StatusCode, err
+	}
+	if err := resp.Body.Close(); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+func run(cfg config, path string) error {
+	payloads, err := bodies(cfg)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	url := cfg.url + path
+
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, cfg.n)
+	statuses := make(map[int]int)
+
+	workers := parallel.Workers(cfg.workers)
+	start := time.Now()
+	err = parallel.ForEach(cfg.n, workers, func(i int) error {
+		body := payloads[i%len(payloads)]
+		t0 := time.Now()
+		status, err := post(client, url, body)
+		lat := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		mu.Lock()
+		latencies = append(latencies, lat)
+		statuses[status]++
+		mu.Unlock()
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("oocload: %d requests to %s with %d workers in %v\n", cfg.n, url, workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f req/s\n", float64(cfg.n)/elapsed.Seconds())
+	var codes []int
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Printf("status %d: %d\n", code, statuses[code])
+	}
+	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		percentile(latencies, 50).Round(time.Microsecond),
+		percentile(latencies, 90).Round(time.Microsecond),
+		percentile(latencies, 99).Round(time.Microsecond),
+		latencies[len(latencies)-1].Round(time.Microsecond))
+	for _, code := range codes {
+		if code != http.StatusOK {
+			return fmt.Errorf("%d requests finished with status %d", statuses[code], code)
+		}
+	}
+	return nil
+}
+
+// percentile reads the p-th percentile from sorted latencies using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// smoke probes a running daemon end to end: /healthz answers ok, one
+// /v1/design solve succeeds, and /metrics shows the request. It is the
+// scriptable health check used by scripts/check.sh (no curl needed).
+func smoke(base string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || string(raw) != "ok\n" {
+		return fmt.Errorf("healthz: status %d body %q", resp.StatusCode, raw)
+	}
+
+	uc, err := usecases.ByName("male_simple")
+	if err != nil {
+		return err
+	}
+	body, err := specio.Marshal(uc.Build())
+	if err != nil {
+		return err
+	}
+	status, err := post(client, base+"/v1/design", body)
+	if err != nil {
+		return fmt.Errorf("design: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("design: status %d", status)
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	raw, err = io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	want := `ooc_requests_total{endpoint="design",status="200"}`
+	if !strings.Contains(string(raw), want) {
+		return fmt.Errorf("metrics: exposition lacks %q:\n%s", want, raw)
+	}
+	fmt.Println("oocload: smoke ok")
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ooc/internal/sim"
+)
+
+// TestModelFlagValidation mirrors the oocsim/oocbench tests: unknown
+// -model or -endpoint spellings are usage errors listing the valid
+// values, caught before any traffic is sent.
+func TestModelFlagValidation(t *testing.T) {
+	cases := []struct {
+		endpoint, model string
+		wantPath        string
+		wantErr         bool
+	}{
+		{"design", "exact", "/v1/design", false},
+		{"design", "bogus", "", true}, // model is validated even when design ignores it
+		{"validate", "exact", "/v1/validate?model=exact", false},
+		{"validate", "approx", "/v1/validate?model=approx", false},
+		{"validate", "numeric", "/v1/validate?model=numeric", false},
+		{"validate", "", "/v1/validate?model=exact", false},
+		{"validate", "spectral", "", true},
+		{"validate", "NUMERIC", "", true},
+		{"simulate", "exact", "", true},
+	}
+	for _, tc := range cases {
+		cfg := config{endpoint: tc.endpoint, model: tc.model}
+		path, err := cfg.requestPath()
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("endpoint %q model %q: expected an error", tc.endpoint, tc.model)
+				continue
+			}
+			if tc.endpoint == "validate" && !strings.Contains(err.Error(), sim.ModelNames) {
+				t.Errorf("endpoint %q model %q: error %q does not list the valid models", tc.endpoint, tc.model, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("endpoint %q model %q: %v", tc.endpoint, tc.model, err)
+			continue
+		}
+		if path != tc.wantPath {
+			t.Errorf("endpoint %q model %q: path %q, want %q", tc.endpoint, tc.model, path, tc.wantPath)
+		}
+	}
+}
+
+// TestPercentile pins the nearest-rank percentile arithmetic.
+func TestPercentile(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sorted := []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{
+		{50, ms(5)},
+		{90, ms(9)},
+		{99, ms(10)},
+		{100, ms(10)},
+		{1, ms(1)},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%d = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{ms(7)}, 99); got != ms(7) {
+		t.Errorf("singleton p99 = %v, want 7ms", got)
+	}
+}
+
+// TestBodies: one spec by default, the full catalogue under -distinct.
+func TestBodies(t *testing.T) {
+	one, err := bodies(config{spec: "male_simple"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("default bodies: %d payloads", len(one))
+	}
+	all, err := bodies(config{distinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 3 {
+		t.Fatalf("distinct bodies: only %d payloads", len(all))
+	}
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[string(b)] {
+			t.Fatal("distinct bodies repeat a payload")
+		}
+		seen[string(b)] = true
+	}
+	if _, err := bodies(config{spec: "nonexistent"}); err == nil {
+		t.Fatal("unknown spec name silently accepted")
+	}
+}

@@ -43,6 +43,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: oocsim [flags] design.json")
 		os.Exit(2)
 	}
+	// Flag validation happens before any file I/O: a typo'd -model is a
+	// usage error (exit 2 with the valid spellings), not a late runtime
+	// failure after the design was already parsed.
+	opt, err := modelOptions(*model, *noBends, *noJunctions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocsim:", err)
+		fmt.Fprintf(os.Stderr, "usage: oocsim [-model {%s}] [flags] design.json\n", sim.ModelNames)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -57,7 +66,7 @@ func main() {
 		ctx = obs.WithCollector(ctx, col)
 	}
 
-	err := run(ctx, flag.Arg(0), *model, *noBends, *noJunctions)
+	err = run(ctx, flag.Arg(0), opt)
 	if col != nil {
 		// Telemetry covers whatever ran, including aborted solves.
 		fmt.Print(col.Snapshot().Format())
@@ -68,7 +77,21 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, path, model string, noBends, noJunctions bool) error {
+// modelOptions resolves the model flag and loss switches into
+// validation options.
+func modelOptions(model string, noBends, noJunctions bool) (sim.Options, error) {
+	m, err := sim.ParseModel(model)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	return sim.Options{
+		Model:                 m,
+		DisableBendLosses:     noBends,
+		DisableJunctionLosses: noJunctions,
+	}, nil
+}
+
+func run(ctx context.Context, path string, opt sim.Options) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -76,20 +99,6 @@ func run(ctx context.Context, path, model string, noBends, noJunctions bool) err
 	design, err := render.ParseJSON(raw)
 	if err != nil {
 		return err
-	}
-	opt := sim.Options{
-		DisableBendLosses:     noBends,
-		DisableJunctionLosses: noJunctions,
-	}
-	switch model {
-	case "exact":
-		opt.Model = sim.ModelExact
-	case "approx":
-		opt.Model = sim.ModelApprox
-	case "numeric":
-		opt.Model = sim.ModelNumeric
-	default:
-		return fmt.Errorf("unknown model %q (exact, approx or numeric)", model)
 	}
 	rep, err := sim.ValidateContext(ctx, design, opt)
 	if err != nil {

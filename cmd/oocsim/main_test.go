@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ooc/internal/sim"
+)
+
+// TestModelFlagValidation: every valid -model spelling resolves to the
+// matching sim.Model, and anything else fails with an error that lists
+// the valid models — the message main prints before exiting 2.
+func TestModelFlagValidation(t *testing.T) {
+	cases := []struct {
+		model   string
+		want    sim.Model
+		wantErr bool
+	}{
+		{model: "exact", want: sim.ModelExact},
+		{model: "approx", want: sim.ModelApprox},
+		{model: "numeric", want: sim.ModelNumeric},
+		{model: "", want: sim.ModelExact}, // flag default semantics
+		{model: "bogus", wantErr: true},
+		{model: "EXACT", wantErr: true}, // spellings are case-sensitive
+		{model: "auto", wantErr: true},  // oocbench-only spelling
+	}
+	for _, tc := range cases {
+		opt, err := modelOptions(tc.model, true, false)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("model %q: expected an error", tc.model)
+				continue
+			}
+			if !strings.Contains(err.Error(), sim.ModelNames) {
+				t.Errorf("model %q: error does not list valid models: %v", tc.model, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("model %q: %v", tc.model, err)
+			continue
+		}
+		if opt.Model != tc.want {
+			t.Errorf("model %q: got %v want %v", tc.model, opt.Model, tc.want)
+		}
+		if !opt.DisableBendLosses || opt.DisableJunctionLosses {
+			t.Errorf("model %q: loss switches not threaded through: %+v", tc.model, opt)
+		}
+	}
+}

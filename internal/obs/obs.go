@@ -63,6 +63,15 @@ type solverAgg struct {
 	hist map[int]int
 }
 
+// timingAgg accumulates one named duration histogram. Buckets are
+// exponential in microseconds: bucket k holds observations with
+// microseconds in [2^(k-1), 2^k) — i.e. k = bits.Len(micros).
+type timingAgg struct {
+	count   int64
+	total   time.Duration
+	buckets map[int]int64
+}
+
 // Collector aggregates telemetry events. The zero value is not
 // usable; construct with NewCollector. All methods are safe for
 // concurrent use and are no-ops on a nil receiver.
@@ -72,6 +81,8 @@ type Collector struct {
 	cacheHits    int64
 	cacheMisses  int64
 	degradations map[string]int
+	counters     map[string]int64
+	timings      map[string]*timingAgg
 }
 
 // NewCollector returns an empty collector.
@@ -79,6 +90,8 @@ func NewCollector() *Collector {
 	return &Collector{
 		solvers:      make(map[string]*solverAgg),
 		degradations: make(map[string]int),
+		counters:     make(map[string]int64),
+		timings:      make(map[string]*timingAgg),
 	}
 }
 
@@ -168,6 +181,44 @@ func (c *Collector) RecordDegradation(reason string) {
 	c.degradations[reason]++
 }
 
+// Add increments the named monotonic counter by delta. Counters are
+// the extension point for layers above the solvers — the serving
+// subsystem counts requests per endpoint/status and response-cache
+// hits/misses here — without obs needing to know their schema: any
+// dotted name is a valid counter.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counters[name] += delta
+}
+
+// Observe records one duration sample into the named latency
+// histogram (exponential microsecond buckets). Unlike counters,
+// timing aggregates are wall-clock data: they appear in Snapshot
+// summaries (for /metrics-style expositions) but never in Format,
+// which stays byte-deterministic.
+func (c *Collector) Observe(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg := c.timings[name]
+	if agg == nil {
+		agg = &timingAgg{buckets: make(map[int]int64)}
+		c.timings[name] = agg
+	}
+	agg.count++
+	agg.total += d
+	agg.buckets[bits.Len(uint(d.Microseconds()))]++
+}
+
 // Reset clears all aggregates.
 func (c *Collector) Reset() {
 	if c == nil {
@@ -178,6 +229,8 @@ func (c *Collector) Reset() {
 	c.solvers = make(map[string]*solverAgg)
 	c.cacheHits, c.cacheMisses = 0, 0
 	c.degradations = make(map[string]int)
+	c.counters = make(map[string]int64)
+	c.timings = make(map[string]*timingAgg)
 }
 
 // IterBucket is one iteration-histogram bucket: Count solves finished
@@ -204,13 +257,40 @@ type DegradationCount struct {
 	Count  int
 }
 
+// NamedCount is one named monotonic counter with its value.
+type NamedCount struct {
+	Name  string
+	Value int64
+}
+
+// TimingBucket is one latency-histogram bucket: Count observations
+// with durations in [Lo, Hi] microseconds.
+type TimingBucket struct {
+	LoMicros, HiMicros int64
+	Count              int64
+}
+
+// TimingSummary aggregates all observations of one named duration.
+type TimingSummary struct {
+	Name    string
+	Count   int64
+	Total   time.Duration
+	Buckets []TimingBucket
+}
+
 // Summary is a deterministic snapshot of a Collector: slices are
-// sorted, and every field is an order-insensitive aggregate.
+// sorted, and every field except the wall-clock timings is an
+// order-insensitive aggregate of deterministic events.
 type Summary struct {
 	Solvers      []SolverSummary
 	CacheHits    int64
 	CacheMisses  int64
 	Degradations []DegradationCount
+	Counters     []NamedCount
+	// Timings holds wall-clock latency histograms; they are exposed
+	// for /metrics-style renderers and deliberately excluded from
+	// Format.
+	Timings []TimingSummary
 }
 
 // Snapshot returns the current aggregates as a Summary.
@@ -263,7 +343,48 @@ func (c *Collector) Snapshot() Summary {
 	for _, r := range reasons {
 		s.Degradations = append(s.Degradations, DegradationCount{Reason: r, Count: c.degradations[r]})
 	}
+	counterNames := make([]string, 0, len(c.counters))
+	for name := range c.counters {
+		counterNames = append(counterNames, name)
+	}
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		s.Counters = append(s.Counters, NamedCount{Name: name, Value: c.counters[name]})
+	}
+	timingNames := make([]string, 0, len(c.timings))
+	for name := range c.timings {
+		timingNames = append(timingNames, name)
+	}
+	sort.Strings(timingNames)
+	for _, name := range timingNames {
+		agg := c.timings[name]
+		ts := TimingSummary{Name: name, Count: agg.count, Total: agg.total}
+		buckets := make([]int, 0, len(agg.buckets))
+		for b := range agg.buckets {
+			buckets = append(buckets, b)
+		}
+		sort.Ints(buckets)
+		for _, b := range buckets {
+			lo, hi := int64(0), int64(0)
+			if b > 0 {
+				lo = 1 << (b - 1)
+				hi = 1<<b - 1
+			}
+			ts.Buckets = append(ts.Buckets, TimingBucket{LoMicros: lo, HiMicros: hi, Count: agg.buckets[b]})
+		}
+		s.Timings = append(s.Timings, ts)
+	}
 	return s
+}
+
+// Counter returns the value of the named counter, or 0 when absent.
+func (s Summary) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
 }
 
 // CacheLookups is the total number of cross-section cache lookups.
@@ -315,6 +436,16 @@ func (s Summary) Format() string {
 		fmt.Fprintf(&b, "  degradations: %d\n", s.TotalDegradations())
 		for _, d := range s.Degradations {
 			fmt.Fprintf(&b, "    %s: %d\n", d.Reason, d.Count)
+		}
+	}
+	// Named counters are deterministic when the recorded events are;
+	// they print only when present so solver-only summaries keep their
+	// historical rendering. Timings are wall-clock data and never
+	// print here.
+	if len(s.Counters) > 0 {
+		b.WriteString("  counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "    %s: %d\n", c.Name, c.Value)
 		}
 	}
 	return b.String()

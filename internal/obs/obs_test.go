@@ -118,9 +118,71 @@ func TestNilCollectorSafe(t *testing.T) {
 	c.RecordCacheHit()
 	c.RecordCacheMiss()
 	c.RecordDegradation("x")
+	c.Add("requests", 1)
+	c.Observe("request", time.Millisecond)
 	c.Reset()
 	if s := c.Snapshot(); len(s.Solvers) != 0 {
 		t.Fatal("nil collector produced data")
+	}
+}
+
+func TestNamedCounters(t *testing.T) {
+	c := NewCollector()
+	c.Add("requests.design.200", 2)
+	c.Add("requests.validate.400", 1)
+	c.Add("requests.design.200", 3)
+	s := c.Snapshot()
+	if got := s.Counter("requests.design.200"); got != 5 {
+		t.Fatalf("counter value: %d", got)
+	}
+	if got := s.Counter("requests.validate.400"); got != 1 {
+		t.Fatalf("counter value: %d", got)
+	}
+	if got := s.Counter("absent"); got != 0 {
+		t.Fatalf("absent counter: %d", got)
+	}
+	// Sorted by name.
+	if len(s.Counters) != 2 || s.Counters[0].Name != "requests.design.200" {
+		t.Fatalf("counter order: %+v", s.Counters)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "requests.design.200: 5") {
+		t.Fatalf("Format lacks counters:\n%s", out)
+	}
+	// A counter-free summary keeps the historical rendering.
+	if out := NewCollector().Snapshot().Format(); strings.Contains(out, "counters") {
+		t.Fatalf("empty summary grew a counters section:\n%s", out)
+	}
+}
+
+func TestTimings(t *testing.T) {
+	c := NewCollector()
+	// 100µs falls in [64..127]µs, 40µs in [32..63]µs.
+	c.Observe("request.design", 100*time.Microsecond)
+	c.Observe("request.design", 40*time.Microsecond)
+	c.Observe("request.design", 100*time.Microsecond)
+	c.Observe("request.validate", time.Millisecond)
+	c.Observe("request.design", -time.Second) // clamped to 0
+	s := c.Snapshot()
+	if len(s.Timings) != 2 || s.Timings[0].Name != "request.design" {
+		t.Fatalf("timings: %+v", s.Timings)
+	}
+	d := s.Timings[0]
+	if d.Count != 4 || d.Total != 240*time.Microsecond {
+		t.Fatalf("design timing: %+v", d)
+	}
+	want := []TimingBucket{{0, 0, 1}, {32, 63, 1}, {64, 127, 2}}
+	if len(d.Buckets) != len(want) {
+		t.Fatalf("buckets: %+v", d.Buckets)
+	}
+	for i, b := range d.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d: got %+v want %+v", i, b, want[i])
+		}
+	}
+	// Timings never leak into the deterministic Format rendering.
+	if out := s.Format(); strings.Contains(out, "request.design") {
+		t.Fatalf("Format leaks timings:\n%s", out)
 	}
 }
 

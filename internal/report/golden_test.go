@@ -1,0 +1,102 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ooc/internal/core"
+	"ooc/internal/sim"
+	"ooc/internal/units"
+)
+
+// The server's text content-negotiation serves these renderings
+// verbatim, so their exact layout is pinned against golden files.
+// Regenerate after an intentional layout change with:
+//
+//	go test ./internal/report/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenReport is a synthetic, hand-valued report: every deviation and
+// flow is a round number so a formatting regression is obvious in the
+// diff, independent of any solver behaviour.
+func goldenReport() *sim.Report {
+	return &sim.Report{
+		Design: &core.Design{Name: "golden_chip"},
+		Modules: []sim.ModuleResult{
+			{
+				Name:     "lung",
+				SpecFlow: units.CubicMetresPerSecond(8e-9), ActualFlow: units.CubicMetresPerSecond(7.9e-9),
+				FlowDeviation: 0.0125,
+				SpecPerfusion: 0.040, ActualPerfusion: 0.0412, PerfusionDeviation: 0.030,
+			},
+			{
+				Name:     "liver",
+				SpecFlow: units.CubicMetresPerSecond(1.25e-8), ActualFlow: units.CubicMetresPerSecond(1.3e-8),
+				FlowDeviation: 0.040,
+				SpecPerfusion: 0.550, ActualPerfusion: 0.5225, PerfusionDeviation: 0.050,
+			},
+		},
+		AvgFlowDeviation: 0.02625, MaxFlowDeviation: 0.040,
+		AvgPerfDeviation: 0.040, MaxPerfDeviation: 0.050,
+		KCLResidual:  units.CubicMetresPerSecond(2.5e-22),
+		PumpPressure: units.Pascals(5900.5),
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s rendering drifted from %s\n--- got ---\n%s--- want ---\n%s", name, path, got, want)
+	}
+}
+
+func TestGoldenFig4(t *testing.T) {
+	checkGolden(t, "fig4", FormatFig4(goldenReport()))
+}
+
+func TestGoldenTable(t *testing.T) {
+	rep := goldenReport()
+	tab := Table{Rows: []Row{
+		Aggregate("male_simple", 3, []*sim.Report{rep}, 0),
+		Aggregate("generic2", 10, []*sim.Report{rep, rep}, 1),
+		Aggregate("empty_chip", 0, nil, 2),
+	}}
+	tab.Sort()
+	checkGolden(t, "table", tab.Format())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	rep := goldenReport()
+	tab := Table{Rows: []Row{
+		Aggregate("male_simple", 3, []*sim.Report{rep}, 0),
+		Aggregate("generic2", 10, []*sim.Report{rep, rep}, 1),
+	}}
+	tab.Sort()
+	checkGolden(t, "csv", tab.CSV())
+}
+
+func TestGoldenSeries(t *testing.T) {
+	rep := goldenReport()
+	s, err := AggregateSeries("viscosity [Pa·s]",
+		[]float64{0.001, 0.001, 0.004}, []*sim.Report{rep, rep, rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series", FormatSeries(s))
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy is the admission controller's overflow signal; the handler
+// layer maps it to 429 Too Many Requests.
+var errBusy = errors.New("server: at capacity")
+
+// admission is the bounded admission controller in front of the solve
+// path: a semaphore of execution slots (sized off the shared
+// internal/parallel pool by default, since that is the real compute
+// capacity underneath) plus a bounded waiting queue. A request that
+// finds every slot taken waits in the queue against its own deadline
+// budget; a request that finds the queue full too is rejected
+// immediately with errBusy, which keeps the daemon's memory and
+// latency bounded no matter the offered load — overload degrades into
+// fast 429s instead of an unbounded goroutine pile-up.
+type admission struct {
+	slots  chan struct{}
+	queued atomic.Int64
+	depth  int64
+}
+
+// newAdmission sizes the controller: concurrent execution slots and a
+// waiting queue of depth waiters.
+func newAdmission(concurrent, depth int) *admission {
+	return &admission{
+		slots: make(chan struct{}, concurrent),
+		depth: int64(depth),
+	}
+}
+
+// acquire claims an execution slot. The fast path is non-blocking;
+// otherwise the caller joins the bounded queue and waits for a slot or
+// its context, whichever ends first. errBusy means the queue itself
+// was full.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.depth {
+		a.queued.Add(-1)
+		return errBusy
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the slot claimed by a successful acquire.
+func (a *admission) release() { <-a.slots }
+
+// gauges reports the current occupancy: requests holding a slot and
+// requests waiting in the queue.
+func (a *admission) gauges() (inflight, queued int64) {
+	return int64(len(a.slots)), a.queued.Load()
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"ooc/internal/obs"
+)
+
+// response is one fully rendered HTTP response: everything the cache
+// must retain to replay a request without re-solving.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// cacheEntry is one in-flight or completed response slot. Like the
+// cross-section solve cache in internal/sim, the goroutine that
+// creates the entry runs the fill, stores the result and closes done;
+// every other goroutine that finds the entry waits on done. This
+// singleflight design means N identical concurrent requests perform
+// exactly one solve and the hit/miss counters are deterministic: each
+// unique key is a miss exactly once per cache generation.
+type cacheEntry struct {
+	key  string
+	done chan struct{}
+	resp response
+	err  error
+	// cacheable records whether the completed response may be served
+	// to future requests (successful, full-fidelity responses only —
+	// errors and degraded reports are never cached, mirroring the
+	// never-cache-errors discipline of the cross-section cache).
+	cacheable bool
+	// completed guards eviction: in-flight entries are never evicted.
+	completed bool
+}
+
+// respCache is the singleflight + LRU response cache, keyed on
+// canonicalized spec bytes (plus endpoint/model/rendering, assembled
+// by the caller). Capacity bounds completed entries; in-flight entries
+// are exempt from eviction (their population is already bounded by the
+// admission controller).
+type respCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // of *cacheEntry; front = most recently used
+	entries map[string]*list.Element
+}
+
+func newRespCache(capacity int) *respCache {
+	return &respCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// do returns the response for key, running fill at most once across
+// all concurrent callers with the same key. fill reports the rendered
+// response, whether it may be cached, and a transport-level error
+// (admission rejection, context expiry) that should not poison the
+// cache. The second result is true when this caller did not run fill
+// itself (a cache hit or a singleflight join). Hit/miss counts are
+// recorded in col under server.cache.hits / server.cache.misses.
+func (c *respCache) do(ctx context.Context, col *obs.Collector, key string, fill func() (response, bool, error)) (response, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		col.Add("server.cache.hits", 1)
+		select {
+		case <-e.done:
+			return e.resp, true, e.err
+		case <-ctx.Done():
+			// The owner keeps solving under its own budget; this waiter
+			// just stops waiting for it.
+			return response{}, true, fmt.Errorf("server: waiting for identical in-flight request: %w", ctx.Err())
+		}
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = c.lru.PushFront(e)
+	c.evictLocked()
+	c.mu.Unlock()
+	col.Add("server.cache.misses", 1)
+
+	resp, cacheable, err := fill()
+
+	c.mu.Lock()
+	e.resp, e.err, e.cacheable, e.completed = resp, err, cacheable, true
+	if err != nil || !cacheable {
+		// Joined waiters still receive this result via e.done, but the
+		// slot is removed so the next request recomputes with a fresh
+		// budget. Remove only our own slot: a concurrent Reset or
+		// eviction may have replaced it.
+		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return resp, false, err
+}
+
+// evictLocked drops the least-recently-used completed entries until
+// the cache is back within capacity. Callers hold c.mu.
+func (c *respCache) evictLocked() {
+	over := c.lru.Len() - c.cap
+	if over <= 0 {
+		return
+	}
+	for el := c.lru.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); e.completed {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			over--
+		}
+		el = prev
+	}
+}
+
+// Len reports the number of cached or in-flight entries.
+func (c *respCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ooc/internal/obs"
+)
+
+func fillOK(body string) func() (response, bool, error) {
+	return func() (response, bool, error) {
+		return response{status: 200, contentType: "text/plain", body: []byte(body)}, true, nil
+	}
+}
+
+// TestCacheLRUEviction: capacity bounds completed entries and evicts
+// the least recently used first.
+func TestCacheLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	col := obs.NewCollector()
+	c := newRespCache(2)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := c.do(ctx, col, k, fillOK(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache length %d, want 2", c.Len())
+	}
+	// "a" was least recently used, so it is the one gone.
+	hit := func(k string) bool {
+		_, h, err := c.do(ctx, col, k, fillOK(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if hit("a") {
+		t.Fatal(`"a" survived eviction`)
+	}
+	// Touch order now: a(front), c, b evicted — b must recompute.
+	if !hit("c") {
+		t.Fatal(`"c" was evicted prematurely`)
+	}
+	if hit("b") {
+		t.Fatal(`"b" should have been evicted by "a"'s re-insert`)
+	}
+}
+
+// TestCacheRecencyOnHit: a hit refreshes recency, protecting hot keys.
+func TestCacheRecencyOnHit(t *testing.T) {
+	ctx := context.Background()
+	col := obs.NewCollector()
+	c := newRespCache(2)
+	for _, k := range []string{"hot", "cold"} {
+		if _, _, err := c.do(ctx, col, k, fillOK(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, h, _ := c.do(ctx, col, "hot", fillOK("hot")); !h { // refresh "hot"
+		t.Fatal("expected a hit")
+	}
+	if _, _, err := c.do(ctx, col, "new", fillOK("new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, h, _ := c.do(ctx, col, "hot", fillOK("hot")); !h {
+		t.Fatal(`"hot" was evicted despite being most recently used`)
+	}
+}
+
+// TestCacheErrorAndUncacheableNotRetained: fills that fail or decline
+// caching do not occupy a slot afterwards.
+func TestCacheErrorAndUncacheableNotRetained(t *testing.T) {
+	ctx := context.Background()
+	col := obs.NewCollector()
+	c := newRespCache(4)
+	if _, _, err := c.do(ctx, col, "boom", func() (response, bool, error) {
+		return response{}, false, fmt.Errorf("transient")
+	}); err == nil {
+		t.Fatal("expected the fill error back")
+	}
+	if _, _, err := c.do(ctx, col, "meh", func() (response, bool, error) {
+		return response{status: 200, body: []byte("degraded")}, false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("errored/uncacheable fills left %d entries", c.Len())
+	}
+	if _, hit, _ := c.do(ctx, col, "meh", fillOK("fresh")); hit {
+		t.Fatal("uncacheable result was served from cache")
+	}
+}
+
+// TestAdmissionOverflow: the queue bound turns the depth+1-th waiter
+// away immediately.
+func TestAdmissionOverflow(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil { // take the slot
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, q := a.gauges(); q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(ctx); err != errBusy {
+		t.Fatalf("overflow acquire: %v, want errBusy", err)
+	}
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.release()
+	if in, q := a.gauges(); in != 0 || q != 0 {
+		t.Fatalf("gauges after drain: %d/%d", in, q)
+	}
+}
+
+// TestAdmissionContextExpiry: a queued waiter gives up when its budget
+// expires, and the queue gauge returns to zero.
+func TestAdmissionContextExpiry(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("expired waiter: %v, want context.DeadlineExceeded", err)
+	}
+	a.release()
+	if in, q := a.gauges(); in != 0 || q != 0 {
+		t.Fatalf("gauges after expiry: %d/%d", in, q)
+	}
+}

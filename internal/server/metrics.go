@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ooc/internal/obs"
+)
+
+// renderMetrics renders the /metrics text exposition from a collector
+// snapshot plus the live admission gauges. The format is the
+// conventional one-metric-per-line exposition (Prometheus-style names
+// and labels) so standard scrapers and plain grep both work. Ordering
+// is deterministic: gauges first, then counters, histograms, solver
+// and cache aggregates, each sorted by the Summary's own ordering.
+func renderMetrics(s obs.Summary, inflight, queued int64, uptime time.Duration) string {
+	var b strings.Builder
+	b.WriteString("# oocd metrics\n")
+	fmt.Fprintf(&b, "ooc_uptime_seconds %.3f\n", uptime.Seconds())
+	fmt.Fprintf(&b, "ooc_inflight %d\n", inflight)
+	fmt.Fprintf(&b, "ooc_queued %d\n", queued)
+
+	for _, c := range s.Counters {
+		switch parts := strings.Split(c.Name, "."); {
+		case len(parts) == 3 && parts[0] == "requests":
+			fmt.Fprintf(&b, "ooc_requests_total{endpoint=%q,status=%q} %d\n", parts[1], parts[2], c.Value)
+		case c.Name == "server.cache.hits":
+			fmt.Fprintf(&b, "ooc_response_cache_hits_total %d\n", c.Value)
+		case c.Name == "server.cache.misses":
+			fmt.Fprintf(&b, "ooc_response_cache_misses_total %d\n", c.Value)
+		default:
+			fmt.Fprintf(&b, "ooc_counter{name=%q} %d\n", c.Name, c.Value)
+		}
+	}
+
+	for _, t := range s.Timings {
+		endpoint := strings.TrimPrefix(t.Name, "request.")
+		var cum int64
+		for _, bk := range t.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "ooc_request_duration_micros_bucket{endpoint=%q,le=\"%d\"} %d\n",
+				endpoint, bk.HiMicros, cum)
+		}
+		fmt.Fprintf(&b, "ooc_request_duration_micros_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, t.Count)
+		fmt.Fprintf(&b, "ooc_request_duration_micros_sum{endpoint=%q} %d\n", endpoint, t.Total.Microseconds())
+		fmt.Fprintf(&b, "ooc_request_duration_micros_count{endpoint=%q} %d\n", endpoint, t.Count)
+	}
+
+	for _, ss := range s.Solvers {
+		fmt.Fprintf(&b, "ooc_solver_solves_total{solver=%q} %d\n", ss.Solver, ss.Solves)
+		fmt.Fprintf(&b, "ooc_solver_converged_total{solver=%q} %d\n", ss.Solver, ss.Converged)
+		fmt.Fprintf(&b, "ooc_solver_iterations_total{solver=%q} %d\n", ss.Solver, ss.TotalIterations)
+	}
+
+	fmt.Fprintf(&b, "ooc_xsection_cache_hits_total %d\n", s.CacheHits)
+	fmt.Fprintf(&b, "ooc_xsection_cache_misses_total %d\n", s.CacheMisses)
+
+	for _, d := range s.Degradations {
+		fmt.Fprintf(&b, "ooc_degradations_total{reason=%q} %d\n", d.Reason, d.Count)
+	}
+	return b.String()
+}

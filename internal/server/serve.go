@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs the daemon on ln until ctx is done, then drains
+// gracefully: the listener closes (no new requests), in-flight
+// requests get Config.DrainTimeout to finish, and any stragglers have
+// their request contexts cancelled so the solvers abort cooperatively
+// (the PR 3 cancellation plumbing). Serve returns nil on a clean
+// drain; a non-nil error means the drain timed out and connections
+// were cut.
+//
+// cmd/oocd calls this from main with a signal.NotifyContext; tests
+// call it with a plain cancelable context.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// base is the parent of every request context. Cancelling it after
+	// a failed drain aborts the in-flight solves instead of abandoning
+	// them.
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return base },
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed on its own; nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(drainCtx)
+	cancelBase()
+	if err != nil {
+		// Drain budget exhausted: cut the remaining connections. The
+		// request contexts are already cancelled, so the handlers
+		// unwind promptly even though no one reads their responses.
+		_ = hs.Close()
+		err = fmt.Errorf("server: drain: %w", err)
+	}
+	<-serveErr // hs.Serve has returned http.ErrServerClosed
+	return err
+}

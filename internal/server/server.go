@@ -1,0 +1,456 @@
+// Package server is the design-as-a-service layer over the design
+// automation pipeline: a stdlib-only HTTP daemon (cmd/oocd) exposing
+// the paper's spec → design → validation-report function as a JSON
+// API. The serving path is production-shaped:
+//
+//   - a bounded admission controller (semaphore + queue, sized off the
+//     shared internal/parallel pool) turns overload into fast 429s
+//     instead of unbounded queueing;
+//   - a singleflight + LRU response cache keyed on canonicalized spec
+//     bytes (specio.Canonical) makes identical concurrent requests
+//     solve once, with hit/miss counters in internal/obs;
+//   - every request runs under a deadline budget (server default,
+//     client-overridable up to a cap via ?timeout=), propagated
+//     through the PR 3 context plumbing down to the iterative solvers;
+//     an exhausted budget is a 504;
+//   - a process-lifetime obs.Collector feeds the /metrics text
+//     exposition (request counts, latency buckets, cache traffic,
+//     solver iterations, degradations) and the drain-time flush.
+//
+// Endpoints:
+//
+//	POST /v1/design             spec in → generated design (JSON)
+//	POST /v1/validate?model=m   spec in → validation report (JSON, or
+//	                            text via Accept: text/plain);
+//	                            m ∈ {exact, approx, numeric}
+//	GET  /healthz               liveness
+//	GET  /metrics               text metrics exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ooc/internal/core"
+	"ooc/internal/obs"
+	"ooc/internal/parallel"
+	"ooc/internal/render"
+	"ooc/internal/report"
+	"ooc/internal/sim"
+	"ooc/internal/specio"
+)
+
+// maxSpecBytes bounds the request body: specification documents are
+// small, and the bound keeps a hostile client from ballooning memory.
+const maxSpecBytes = 1 << 20
+
+// Config sizes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent is the number of requests allowed to solve
+	// simultaneously. Default: the shared worker-pool width
+	// (parallel.Workers(0), i.e. GOMAXPROCS) — beyond that the solves
+	// just contend for the same cores.
+	MaxConcurrent int
+	// QueueDepth is how many requests may wait for a slot before the
+	// server answers 429. Default: 4 × MaxConcurrent.
+	QueueDepth int
+	// CacheSize bounds the response cache (completed entries).
+	// Default: 256.
+	CacheSize int
+	// DefaultTimeout is the per-request deadline budget when the
+	// client does not ask for one. Default: 15s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested ?timeout=. Default: 60s.
+	MaxTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown: in-flight
+	// requests get this long to finish before their contexts are
+	// cancelled. Default: 5s.
+	DrainTimeout time.Duration
+	// Collector receives the serving telemetry. Default: a fresh
+	// process-lifetime collector (exposed via Collector()).
+	Collector *obs.Collector
+}
+
+// withDefaults materializes the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = parallel.Workers(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 15 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Collector == nil {
+		c.Collector = obs.NewCollector()
+	}
+	return c
+}
+
+// Server is the design-as-a-service HTTP daemon.
+type Server struct {
+	cfg   Config
+	col   *obs.Collector
+	adm   *admission
+	cache *respCache
+	mux   *http.ServeMux
+	start time.Time
+
+	// The pipeline entry points, swappable in tests to inject slow or
+	// counting stubs; production always uses core.Generate and
+	// sim.ValidateContext.
+	generate func(core.Spec) (*core.Design, error)
+	validate func(context.Context, *core.Design, sim.Options) (*sim.Report, error)
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		col:      cfg.Collector,
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		cache:    newRespCache(cfg.CacheSize),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		generate: core.Generate,
+		validate: sim.ValidateContext,
+	}
+	s.mux.HandleFunc("/v1/design", s.handleDesign)
+	s.mux.HandleFunc("/v1/validate", s.handleValidate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Collector returns the process-lifetime telemetry collector backing
+// /metrics.
+func (s *Server) Collector() *obs.Collector { return s.col }
+
+// MetricsText renders the current /metrics exposition — also used by
+// cmd/oocd to flush metrics at drain time.
+func (s *Server) MetricsText() string {
+	inflight, queued := s.adm.gauges()
+	return renderMetrics(s.col.Snapshot(), inflight, queued, time.Since(s.start))
+}
+
+// jsonError renders a JSON error response.
+func jsonError(status int, format string, args ...any) response {
+	body, err := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	if err != nil {
+		// A map[string]string cannot fail to marshal; keep the error
+		// path total anyway.
+		body = []byte(`{"error":"internal error"}`)
+	}
+	return response{status: status, contentType: "application/json", body: append(body, '\n')}
+}
+
+// errorResponse maps transport-level failures from the admission
+// controller and the context plumbing onto HTTP statuses: queue
+// overflow → 429, an exhausted deadline budget → 504 (the
+// gateway-timeout idiom for "the backend ran out of time"), a client
+// that went away → 503.
+func errorResponse(err error) response {
+	switch {
+	case errors.Is(err, errBusy):
+		return jsonError(http.StatusTooManyRequests, "server at capacity, retry later")
+	case errors.Is(err, context.DeadlineExceeded):
+		return jsonError(http.StatusGatewayTimeout, "deadline budget exhausted: %v", err)
+	case errors.Is(err, context.Canceled):
+		return jsonError(http.StatusServiceUnavailable, "request canceled: %v", err)
+	default:
+		return jsonError(http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// reply writes resp, stamps the cache-disposition header, and records
+// the request in the collector: a requests.<endpoint>.<status> counter
+// and a request.<endpoint> latency observation.
+func (s *Server) reply(w http.ResponseWriter, endpoint string, started time.Time, resp response, hit bool) {
+	w.Header().Set("Content-Type", resp.contentType)
+	if endpoint == "design" || endpoint == "validate" {
+		cacheState := "miss"
+		if hit {
+			cacheState = "hit"
+		}
+		w.Header().Set("X-Cache", cacheState)
+	}
+	if resp.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(resp.status)
+	if _, err := w.Write(resp.body); err != nil {
+		// The client went away mid-write; the status was already
+		// committed and there is no one left to tell.
+		s.col.Add("server.write_errors", 1)
+	}
+	s.col.Add(fmt.Sprintf("requests.%s.%d", endpoint, resp.status), 1)
+	s.col.Observe("request."+endpoint, time.Since(started))
+}
+
+// readSpec reads and parses the request body into a spec and its
+// canonical cache-key bytes.
+func (s *Server) readSpec(w http.ResponseWriter, r *http.Request) (core.Spec, []byte, error) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		return core.Spec{}, nil, fmt.Errorf("reading request body: %w", err)
+	}
+	spec, err := specio.Parse(raw)
+	if err != nil {
+		return core.Spec{}, nil, err
+	}
+	key, err := specio.Canonical(spec)
+	if err != nil {
+		return core.Spec{}, nil, err
+	}
+	return spec, key, nil
+}
+
+// requestContext derives the per-request deadline budget: the server
+// default, overridable by ?timeout= up to the configured cap. The
+// returned context also carries the server's telemetry collector, so
+// solver iterations and cross-section cache traffic land in /metrics.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	budget := s.cfg.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout %q (want a positive duration like 500ms)", raw)
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		budget = d
+	}
+	ctx := obs.WithCollector(r.Context(), s.col)
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	return ctx, cancel, nil
+}
+
+// handleDesign serves POST /v1/design: specification in, generated
+// design out (the render.JSON document, reloadable with
+// ooc.LoadDesignJSON).
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		s.reply(w, "design", started, jsonError(http.StatusMethodNotAllowed, "POST a specification document"), false)
+		return
+	}
+	spec, key, err := s.readSpec(w, r)
+	if err != nil {
+		s.reply(w, "design", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.reply(w, "design", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
+	defer cancel()
+
+	resp, hit, err := s.cache.do(ctx, s.col, "design|"+string(key), func() (response, bool, error) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return response{}, false, err
+		}
+		defer s.adm.release()
+		if err := ctx.Err(); err != nil {
+			// The budget burned down while waiting in the queue.
+			return response{}, false, err
+		}
+		d, err := s.generate(spec)
+		if err != nil {
+			// A spec the pipeline rejects is a client-side problem;
+			// don't cache it — the discipline is errors are never
+			// cached, so a fixed daemon (or spec) gets a fresh run.
+			return jsonError(http.StatusUnprocessableEntity, "generate: %v", err), false, nil
+		}
+		raw, err := render.JSON(d)
+		if err != nil {
+			return response{}, false, fmt.Errorf("rendering design: %w", err)
+		}
+		return response{status: http.StatusOK, contentType: "application/json", body: raw}, true, nil
+	})
+	if err != nil {
+		resp = errorResponse(err)
+	}
+	s.reply(w, "design", started, resp, hit)
+}
+
+// validateResult is the JSON form of a validation report.
+type validateResult struct {
+	Name    string `json:"name"`
+	Model   string `json:"model"`
+	Modules []struct {
+		Name               string  `json:"name"`
+		SpecFlowM3S        float64 `json:"spec_flow_m3s"`
+		ActualFlowM3S      float64 `json:"actual_flow_m3s"`
+		FlowDeviation      float64 `json:"flow_deviation"`
+		SpecPerfusion      float64 `json:"spec_perfusion"`
+		ActualPerfusion    float64 `json:"actual_perfusion"`
+		PerfusionDeviation float64 `json:"perfusion_deviation"`
+	} `json:"modules"`
+	AvgFlowDeviation float64  `json:"avg_flow_deviation"`
+	MaxFlowDeviation float64  `json:"max_flow_deviation"`
+	AvgPerfDeviation float64  `json:"avg_perf_deviation"`
+	MaxPerfDeviation float64  `json:"max_perf_deviation"`
+	PumpPressurePa   float64  `json:"pump_pressure_pa"`
+	KCLResidualM3S   float64  `json:"kcl_residual_m3s"`
+	Degradations     []string `json:"degradations,omitempty"`
+}
+
+// renderValidation renders a report as JSON or, when the client asked
+// for text/plain, as the human-readable Fig. 4-style listing from
+// internal/report.
+func renderValidation(rep *sim.Report, model sim.Model, wantText bool) (response, error) {
+	if wantText {
+		var b strings.Builder
+		b.WriteString(report.FormatFig4(rep))
+		fmt.Fprintf(&b, "aggregate: flow dev avg %.2f%% max %.2f%% | perfusion dev avg %.2f%% max %.2f%%\n",
+			rep.AvgFlowDeviation*100, rep.MaxFlowDeviation*100,
+			rep.AvgPerfDeviation*100, rep.MaxPerfDeviation*100)
+		return response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: []byte(b.String())}, nil
+	}
+	out := validateResult{
+		Name:             rep.Design.Name,
+		Model:            model.String(),
+		AvgFlowDeviation: rep.AvgFlowDeviation,
+		MaxFlowDeviation: rep.MaxFlowDeviation,
+		AvgPerfDeviation: rep.AvgPerfDeviation,
+		MaxPerfDeviation: rep.MaxPerfDeviation,
+		PumpPressurePa:   rep.PumpPressure.Pascals(),
+		KCLResidualM3S:   rep.KCLResidual.CubicMetresPerSecond(),
+		Degradations:     rep.Degradations,
+	}
+	for _, m := range rep.Modules {
+		out.Modules = append(out.Modules, struct {
+			Name               string  `json:"name"`
+			SpecFlowM3S        float64 `json:"spec_flow_m3s"`
+			ActualFlowM3S      float64 `json:"actual_flow_m3s"`
+			FlowDeviation      float64 `json:"flow_deviation"`
+			SpecPerfusion      float64 `json:"spec_perfusion"`
+			ActualPerfusion    float64 `json:"actual_perfusion"`
+			PerfusionDeviation float64 `json:"perfusion_deviation"`
+		}{
+			Name:               m.Name,
+			SpecFlowM3S:        m.SpecFlow.CubicMetresPerSecond(),
+			ActualFlowM3S:      m.ActualFlow.CubicMetresPerSecond(),
+			FlowDeviation:      m.FlowDeviation,
+			SpecPerfusion:      m.SpecPerfusion,
+			ActualPerfusion:    m.ActualPerfusion,
+			PerfusionDeviation: m.PerfusionDeviation,
+		})
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return response{}, fmt.Errorf("rendering report: %w", err)
+	}
+	return response{status: http.StatusOK, contentType: "application/json", body: append(raw, '\n')}, nil
+}
+
+// handleValidate serves POST /v1/validate: specification in,
+// validation/tolerance report out. ?model= selects the resistance
+// model; Accept: text/plain selects the human-readable rendering.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		s.reply(w, "validate", started, jsonError(http.StatusMethodNotAllowed, "POST a specification document"), false)
+		return
+	}
+	model, err := sim.ParseModel(r.URL.Query().Get("model"))
+	if err != nil {
+		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
+	spec, key, err := s.readSpec(w, r)
+	if err != nil {
+		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
+	defer cancel()
+
+	// The rendering is part of the cache key: text and JSON replies of
+	// the same report are distinct cached bodies.
+	wantText := strings.Contains(r.Header.Get("Accept"), "text/plain")
+	rendering := "json"
+	if wantText {
+		rendering = "text"
+	}
+	cacheKey := fmt.Sprintf("validate|%s|%s|%s", model, rendering, key)
+
+	resp, hit, err := s.cache.do(ctx, s.col, cacheKey, func() (response, bool, error) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return response{}, false, err
+		}
+		defer s.adm.release()
+		if err := ctx.Err(); err != nil {
+			return response{}, false, err
+		}
+		d, err := s.generate(spec)
+		if err != nil {
+			return jsonError(http.StatusUnprocessableEntity, "generate: %v", err), false, nil
+		}
+		rep, err := s.validate(ctx, d, sim.Options{Model: model})
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return response{}, false, err
+			}
+			return jsonError(http.StatusUnprocessableEntity, "validate: %v", err), false, nil
+		}
+		out, err := renderValidation(rep, model, wantText)
+		if err != nil {
+			return response{}, false, err
+		}
+		// A report that degraded under the deadline is real but not
+		// full-fidelity; serve it, but don't let it shadow future
+		// requests that have budget for the full solve.
+		return out, len(rep.Degradations) == 0, nil
+	})
+	if err != nil {
+		resp = errorResponse(err)
+	}
+	s.reply(w, "validate", started, resp, hit)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.reply(w, "healthz", started, response{
+		status:      http.StatusOK,
+		contentType: "text/plain; charset=utf-8",
+		body:        []byte("ok\n"),
+	}, false)
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.reply(w, "metrics", started, response{
+		status:      http.StatusOK,
+		contentType: "text/plain; charset=utf-8",
+		body:        []byte(s.MetricsText()),
+	}, false)
+}

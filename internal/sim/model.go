@@ -1,0 +1,39 @@
+package sim
+
+import "fmt"
+
+// ModelNames lists the valid -model / ?model= spellings in their
+// canonical order; usage and error messages quote it so every consumer
+// (oocsim, oocbench, oocload, the oocd query parameter) stays in sync
+// with the Model constants.
+const ModelNames = "exact, approx, numeric"
+
+// ParseModel resolves a user-supplied model name. The empty string
+// selects the default ModelExact; anything else must be one of
+// ModelNames or the error lists the valid spellings.
+func ParseModel(name string) (Model, error) {
+	switch name {
+	case "", "exact":
+		return ModelExact, nil
+	case "approx":
+		return ModelApprox, nil
+	case "numeric":
+		return ModelNumeric, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown model %q (valid models: %s)", name, ModelNames)
+	}
+}
+
+// String names the model as ParseModel spells it.
+func (m Model) String() string {
+	switch m {
+	case ModelExact:
+		return "exact"
+	case ModelApprox:
+		return "approx"
+	case ModelNumeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}

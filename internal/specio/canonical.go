@@ -1,0 +1,38 @@
+package specio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ooc/internal/core"
+)
+
+// Canonical serializes a spec to byte-stable canonical JSON: object
+// keys sorted lexicographically, no insignificant whitespace, and all
+// quantities normalized to the SI units of the wire format (metres,
+// kilograms, pascals, Pa·s) with Go's shortest-round-trip float
+// rendering. Two specs that Parse to the same core.Spec produce the
+// same canonical bytes regardless of the formatting, key order or
+// defaulted fields of their source documents, which makes the output
+// usable as an exact-match cache key — the serving layer keys its
+// response cache on it. Parse(Canonical(x)) round-trips.
+func Canonical(spec core.Spec) ([]byte, error) {
+	// FromSpec normalizes: defaults are materialized (reference name,
+	// tissue kinds, fluid properties) and quantities become SI floats.
+	raw, err := json.Marshal(FromSpec(spec))
+	if err != nil {
+		return nil, fmt.Errorf("specio: canonicalize: %w", err)
+	}
+	// Re-marshalling through the generic form sorts every object's
+	// keys (encoding/json emits map keys in sorted order), at all
+	// nesting depths.
+	var generic any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		return nil, fmt.Errorf("specio: canonicalize: %w", err)
+	}
+	out, err := json.Marshal(generic)
+	if err != nil {
+		return nil, fmt.Errorf("specio: canonicalize: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package specio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ooc/internal/usecases"
+)
+
+// exampleDoc is a representative spec document exercising defaults
+// (reference, tissue), overrides (mass, perfusion) and both tissue
+// kinds.
+const exampleDoc = `{
+  "name": "my_chip",
+  "reference": "male",
+  "organism_mass_kg": 1e-6,
+  "viscosity_pa_s": 7.2e-4,
+  "shear_stress_pa": 1.5,
+  "spacing_m": 1e-3,
+  "modules": [
+    {"organ": "lung", "tissue": "layered"},
+    {"organ": "liver", "tissue": "layered"},
+    {"name": "tumor", "tissue": "round", "mass_kg": 2e-8, "perfusion": 0.2}
+  ]
+}`
+
+func TestCanonicalByteStable(t *testing.T) {
+	spec, err := Parse([]byte(exampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Canonical(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical form is not stable:\n%s\nvs\n%s", a, b)
+	}
+	// Keys are sorted at the top level: "modules" precedes "name".
+	out := string(a)
+	if strings.Index(out, `"modules"`) > strings.Index(out, `"name"`) {
+		t.Fatalf("keys not sorted:\n%s", out)
+	}
+	if strings.Contains(out, "\n") || strings.Contains(out, "  ") {
+		t.Fatalf("canonical form contains insignificant whitespace:\n%s", out)
+	}
+}
+
+// TestCanonicalIgnoresSourceFormatting: the same logical document with
+// different key order, whitespace and defaulted fields spelled out must
+// canonicalize to the same bytes — the property the server cache key
+// depends on.
+func TestCanonicalIgnoresSourceFormatting(t *testing.T) {
+	reordered := `{
+  "modules": [
+    {"tissue": "layered", "organ": "lung"},
+    {"organ": "liver"},
+    {"perfusion": 0.2, "tissue": "round", "mass_kg": 2e-8, "name": "tumor"}
+  ],
+  "spacing_m": 0.001,
+  "shear_stress_pa": 1.5,
+  "viscosity_pa_s": 0.00072,
+  "organism_mass_kg": 0.000001,
+  "name": "my_chip"
+}`
+	s1, err := Parse([]byte(exampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse([]byte(reordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := Canonical(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Canonical(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("equivalent documents canonicalize differently:\n%s\nvs\n%s", c1, c2)
+	}
+}
+
+// TestCanonicalDistinguishesUseCases: distinct specs must not collide.
+func TestCanonicalDistinguishesUseCases(t *testing.T) {
+	seen := map[string]string{}
+	for _, uc := range usecases.All() {
+		c, err := Canonical(uc.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", uc.Name, err)
+		}
+		if prev, ok := seen[string(c)]; ok {
+			t.Fatalf("use cases %s and %s share a canonical form", prev, uc.Name)
+		}
+		seen[string(c)] = uc.Name
+	}
+}
+
+// FuzzCanonicalRoundTrip: for any document that parses, the canonical
+// form must parse back to the same spec and re-canonicalize to the
+// same bytes (Parse ∘ Canonical is the identity on parsed specs).
+func FuzzCanonicalRoundTrip(f *testing.F) {
+	f.Add([]byte(exampleDoc))
+	f.Add([]byte(`{"name":"x","modules":[{"organ":"liver"}]}`))
+	f.Add([]byte(`{"reference":"female","dilution":3,"channel_height_m":2e-4,"modules":[{"organ":"brain","scaling_exponent":0.75}]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		spec, err := Parse(raw)
+		if err != nil {
+			t.Skip()
+		}
+		c1, err := Canonical(spec)
+		if err != nil {
+			// Specs carrying non-finite floats cannot be serialized as
+			// JSON at all; such documents cannot have parsed from JSON
+			// in the first place.
+			t.Fatalf("canonicalizing a parsed spec failed: %v", err)
+		}
+		spec2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form does not parse: %v\n%s", err, c1)
+		}
+		if !reflect.DeepEqual(spec, spec2) {
+			t.Fatalf("round trip changed the spec:\n%+v\nvs\n%+v\ncanonical: %s", spec, spec2, c1)
+		}
+		c2, err := Canonical(spec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", c1, c2)
+		}
+	})
+}

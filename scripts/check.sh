@@ -40,3 +40,38 @@ go run ./cmd/oocbench -fig4 -stats | grep -q "cross-section cache:" || {
     echo "oocbench -stats did not report cache telemetry" >&2
     exit 1
 }
+
+# Daemon smoke: oocd on an ephemeral port must answer /healthz, solve
+# one /v1/design, show the request in /metrics (all probed by
+# oocload -smoke, no curl needed), and drain cleanly within 2s of
+# SIGTERM. `timeout` turns a wedged drain into a failure.
+go build -o /tmp/oocd-smoke ./cmd/oocd
+go build -o /tmp/oocload-smoke ./cmd/oocload
+/tmp/oocd-smoke -addr 127.0.0.1:0 > /tmp/oocd-smoke.out 2>&1 &
+OOCD_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^oocd: listening on //p' /tmp/oocd-smoke.out)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || {
+    echo "oocd never reported its listen address" >&2
+    cat /tmp/oocd-smoke.out >&2
+    kill "$OOCD_PID" 2>/dev/null || true
+    exit 1
+}
+/tmp/oocload-smoke -url "http://$ADDR" -smoke || {
+    echo "oocd smoke probe failed" >&2
+    kill "$OOCD_PID" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$OOCD_PID"
+( sleep 2; kill -KILL "$OOCD_PID" 2>/dev/null ) &
+KILLER_PID=$!
+wait "$OOCD_PID" || {
+    echo "oocd did not exit cleanly within 2s of SIGTERM" >&2
+    exit 1
+}
+kill "$KILLER_PID" 2>/dev/null || true
+rm -f /tmp/oocd-smoke /tmp/oocload-smoke /tmp/oocd-smoke.out

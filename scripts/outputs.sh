@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates the test/bench transcripts that used to be tracked in
+# git (they are machine-dependent, so they live in .gitignore now):
+#
+#   test_output.txt   go test ./... transcript
+#   bench_output.txt  top-level benchmark suite transcript
+#
+# Usage: ./scripts/outputs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go test ./... > test_output.txt"
+go test ./... | tee test_output.txt
+
+echo "==> go test -bench . -benchmem -run ^$ . > bench_output.txt"
+go test -bench . -benchmem -run '^$' . | tee bench_output.txt
+
+echo "==> wrote test_output.txt and bench_output.txt"
