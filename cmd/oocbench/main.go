@@ -24,6 +24,9 @@
 //	oocbench -workers 1   # serial evaluation (default: GOMAXPROCS)
 //	oocbench -timeout 30s # per-run deadline budget
 //	oocbench -stats       # numeric-model run with solver/cache telemetry
+//	oocbench -scheme mg   # force the multigrid Poisson backend (numeric model)
+//	oocbench -json        # machine-readable benchmark document (grid only)
+//	oocbench -json -diff BENCH_5.json  # regression gate vs a committed baseline
 package main
 
 import (
@@ -57,25 +60,36 @@ type config struct {
 	timeout   time.Duration
 	stats     bool
 	model     string
+	scheme    string
+	jsonOut   bool
+	diffPath  string
+	// diff tolerances; see cmd/oocbench/json.go.
+	diffAccTol  float64
+	diffWallTol float64
+	diffIterTol float64
 }
 
-// simOptions resolves the -model flag. "auto" keeps the historical
-// analytic-exact validation, except under -stats where the numeric
-// model is selected so the telemetry has iterative solves and cache
-// traffic to report; everything else goes through the shared
-// sim.ParseModel spelling check.
+// simOptions resolves the -model and -scheme flags. A -model of
+// "auto" keeps the historical analytic-exact validation, except under
+// -stats where the numeric model is selected so the telemetry has
+// iterative solves and cache traffic to report; everything else goes
+// through the shared sim.ParseModel / sim.ParseScheme spelling checks.
 func (c config) simOptions() (sim.Options, error) {
+	scheme, err := sim.ParseScheme(c.scheme)
+	if err != nil {
+		return sim.Options{}, fmt.Errorf("-scheme: %w", err)
+	}
 	if c.model == "" || c.model == "auto" {
 		if c.stats {
-			return sim.Options{Model: sim.ModelNumeric}, nil
+			return sim.Options{Model: sim.ModelNumeric, Scheme: scheme}, nil
 		}
-		return sim.Options{}, nil
+		return sim.Options{Scheme: scheme}, nil
 	}
 	m, err := sim.ParseModel(c.model)
 	if err != nil {
 		return sim.Options{}, fmt.Errorf("-model: %w (or auto)", err)
 	}
-	return sim.Options{Model: m}, nil
+	return sim.Options{Model: m, Scheme: scheme}, nil
 }
 
 func main() {
@@ -89,14 +103,20 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "overall deadline for the run (0 = none); on expiry partial results are flushed and the exit status is nonzero")
 	flag.BoolVar(&cfg.stats, "stats", false, "print solver/cache telemetry after the report (selects the numeric resistance model under -model auto)")
 	flag.StringVar(&cfg.model, "model", "auto", "validation resistance model: auto, exact, approx or numeric")
+	flag.StringVar(&cfg.scheme, "scheme", "auto", "Poisson backend for the numeric model: auto, sor or mg")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit a machine-readable benchmark document (grid rows + solver/cache telemetry) instead of the report")
+	flag.StringVar(&cfg.diffPath, "diff", "", "compare a fresh -json run against the baseline document at this path; exit nonzero on regression")
+	flag.Float64Var(&cfg.diffAccTol, "diff-acc-tol", 0.01, "-diff: max allowed drift per deviation cell, in percentage points")
+	flag.Float64Var(&cfg.diffWallTol, "diff-wall-tol", 2.0, "-diff: max allowed wall-clock ratio vs baseline")
+	flag.Float64Var(&cfg.diffIterTol, "diff-iter-tol", 1.25, "-diff: max allowed per-solver iteration ratio vs baseline")
 	flag.Parse()
 
-	// A typo'd -model is a usage error: fail before the grid run
-	// starts, with the valid spellings, and exit 2 like flag package
-	// parse failures do.
+	// A typo'd -model or -scheme is a usage error: fail before the
+	// grid run starts, with the valid spellings, and exit 2 like flag
+	// package parse failures do.
 	if _, err := cfg.simOptions(); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
-		fmt.Fprintf(os.Stderr, "usage: oocbench [-model {auto, %s}] [flags]\n", sim.ModelNames)
+		fmt.Fprintf(os.Stderr, "usage: oocbench [-model {auto, %s}] [-scheme {%s}] [flags]\n", sim.ModelNames, sim.SchemeNames)
 		os.Exit(2)
 	}
 
@@ -123,6 +143,9 @@ func run(ctx context.Context, cfg config, out, errOut io.Writer) error {
 	opt, err := cfg.simOptions()
 	if err != nil {
 		return err
+	}
+	if cfg.jsonOut || cfg.diffPath != "" {
+		return runJSON(ctx, cfg, opt, out, errOut)
 	}
 	if cfg.stats {
 		// A fresh per-run collector (travelling via ctx) keeps the

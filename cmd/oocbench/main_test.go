@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -200,5 +203,109 @@ func TestModelFlagValidation(t *testing.T) {
 		if opt.Model != tc.want {
 			t.Errorf("model %q stats=%v: got %v want %v", tc.model, tc.stats, opt.Model, tc.want)
 		}
+	}
+}
+
+// TestSchemeFlagValidation: table over every -scheme spelling; unknown
+// values must error with a message listing the valid schemes — the
+// message main prints before exiting 2.
+func TestSchemeFlagValidation(t *testing.T) {
+	cases := []struct {
+		scheme  string
+		want    sim.Scheme
+		wantErr bool
+	}{
+		{scheme: "", want: sim.SchemeAuto},
+		{scheme: "auto", want: sim.SchemeAuto},
+		{scheme: "sor", want: sim.SchemeSOR},
+		{scheme: "mg", want: sim.SchemeMG},
+		{scheme: "bogus", wantErr: true},
+		{scheme: "Mg", wantErr: true},
+	}
+	for _, tc := range cases {
+		opt, err := config{model: "numeric", scheme: tc.scheme}.simOptions()
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("scheme %q: expected an error", tc.scheme)
+				continue
+			}
+			if !strings.Contains(err.Error(), sim.SchemeNames) {
+				t.Errorf("scheme %q: error does not list valid schemes: %v", tc.scheme, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("scheme %q: %v", tc.scheme, err)
+			continue
+		}
+		if opt.Scheme != tc.want {
+			t.Errorf("scheme %q: got %v want %v", tc.scheme, opt.Scheme, tc.want)
+		}
+	}
+}
+
+// TestJSONRoundTripAndDiff: a -json run must emit a parseable benchDoc,
+// a -diff against that very document must pass, and a tampered
+// baseline must fail with a nonzero (error) outcome naming the drifted
+// cell. Uses the paper grid under the exact model to stay fast.
+func TestJSONRoundTripAndDiff(t *testing.T) {
+	ctx := context.Background()
+	base := config{paperGrid: true, jsonOut: true}
+	var out, errOut bytes.Buffer
+	if err := run(ctx, base, &out, &errOut); err != nil {
+		t.Fatalf("json run: %v (stderr: %s)", err, errOut.String())
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not a benchDoc: %v", err)
+	}
+	if doc.Schema != benchSchema || doc.Grid != "paper" || len(doc.Rows) == 0 {
+		t.Fatalf("document malformed: %+v", doc)
+	}
+	if doc.Instances != 216 {
+		t.Fatalf("paper grid is 216 instances, document says %d", doc.Instances)
+	}
+
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(baseline, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diffCfg := base
+	diffCfg.diffPath = baseline
+	diffCfg.diffAccTol = 0.01
+	diffCfg.diffWallTol = 100 // the two runs race on a loaded test machine
+	diffCfg.diffIterTol = 1.25
+	var diffOut, diffErr bytes.Buffer
+	if err := run(ctx, diffCfg, &diffOut, &diffErr); err != nil {
+		t.Fatalf("self-diff must pass: %v (stderr: %s)", err, diffErr.String())
+	}
+	if !strings.Contains(diffOut.String(), "benchdiff: OK") {
+		t.Fatalf("self-diff did not report OK: %s", diffOut.String())
+	}
+
+	// Tamper with one deviation cell beyond the tolerance: regression.
+	doc.Rows[0].FlowMaxPct += 1.0
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diffOut.Reset()
+	diffErr.Reset()
+	err = run(ctx, diffCfg, &diffOut, &diffErr)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("tampered baseline must fail with a regression error, got %v", err)
+	}
+	if !strings.Contains(diffErr.String(), "flow max") {
+		t.Fatalf("regression report does not name the drifted cell: %s", diffErr.String())
+	}
+
+	// A baseline from a different grid/model/scheme is not comparable.
+	mismatch := diffCfg
+	mismatch.paperGrid = false
+	if err := run(ctx, mismatch, &diffOut, &diffErr); err == nil || !strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("grid mismatch must fail as not comparable, got %v", err)
 	}
 }

@@ -4,9 +4,13 @@
 // Endpoints:
 //
 //	POST /v1/design             specification in, generated design out
-//	POST /v1/validate?model=m   specification in, validation report out
+//	POST /v1/validate?model=m&scheme=s
+//	                            specification in, validation report out
 //	GET  /healthz               liveness
 //	GET  /metrics               text metrics exposition
+//
+// ?scheme= picks the Poisson backend behind the numeric model (auto,
+// sor or mg); requests without it use the -scheme flag's default.
 //
 // Every request runs under a deadline budget: the -timeout default,
 // overridable per request with ?timeout= up to -max-timeout.
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"ooc/internal/server"
+	"ooc/internal/sim"
 )
 
 func main() {
@@ -47,6 +52,7 @@ func main() {
 		timeout    time.Duration
 		maxTimeout time.Duration
 		drain      time.Duration
+		scheme     string
 		stats      bool
 	}{}
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
@@ -56,10 +62,20 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline budget (0 = 15s)")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "cap on client-requested ?timeout= (0 = 60s)")
 	flag.DurationVar(&cfg.drain, "drain", 0, "graceful-drain budget on shutdown (0 = 5s)")
+	flag.StringVar(&cfg.scheme, "scheme", "auto", "default Poisson backend for ?scheme=-less validation requests: auto, sor or mg")
 	flag.BoolVar(&cfg.stats, "stats", false, "print the final metrics exposition to stderr on exit")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: oocd [flags]")
+		os.Exit(2)
+	}
+	// A typo'd -scheme is a usage error: fail before the listener
+	// opens, with the valid spellings, and exit 2 like flag package
+	// parse failures do.
+	scheme, err := serverScheme(cfg.scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocd:", err)
+		fmt.Fprintf(os.Stderr, "usage: oocd [-scheme {%s}] [flags]\n", sim.SchemeNames)
 		os.Exit(2)
 	}
 
@@ -70,10 +86,21 @@ func main() {
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
 		DrainTimeout:   cfg.drain,
+		DefaultScheme:  scheme,
 	}, cfg.stats); err != nil {
 		fmt.Fprintln(os.Stderr, "oocd:", err)
 		os.Exit(1)
 	}
+}
+
+// serverScheme resolves the -scheme flag through the shared
+// sim.ParseScheme spelling check.
+func serverScheme(name string) (sim.Scheme, error) {
+	s, err := sim.ParseScheme(name)
+	if err != nil {
+		return 0, fmt.Errorf("-scheme: %w", err)
+	}
+	return s, nil
 }
 
 func run(addr string, cfg server.Config, stats bool) error {

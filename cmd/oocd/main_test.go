@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ooc/internal/sim"
+)
+
+// TestSchemeFlagValidation: every valid -scheme spelling resolves to
+// the matching sim.Scheme, and anything else fails with an error that
+// lists the valid schemes — the message main prints before exiting 2.
+func TestSchemeFlagValidation(t *testing.T) {
+	cases := []struct {
+		scheme  string
+		want    sim.Scheme
+		wantErr bool
+	}{
+		{scheme: "auto", want: sim.SchemeAuto},
+		{scheme: "sor", want: sim.SchemeSOR},
+		{scheme: "mg", want: sim.SchemeMG},
+		{scheme: "", want: sim.SchemeAuto}, // flag default semantics
+		{scheme: "bogus", wantErr: true},
+		{scheme: "SOR", wantErr: true}, // spellings are case-sensitive
+	}
+	for _, tc := range cases {
+		got, err := serverScheme(tc.scheme)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("scheme %q: expected an error", tc.scheme)
+				continue
+			}
+			if !strings.Contains(err.Error(), sim.SchemeNames) {
+				t.Errorf("scheme %q: error does not list valid schemes: %v", tc.scheme, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("scheme %q: %v", tc.scheme, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("scheme %q: got %v want %v", tc.scheme, got, tc.want)
+		}
+	}
+}

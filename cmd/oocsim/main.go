@@ -33,6 +33,7 @@ import (
 
 func main() {
 	model := flag.String("model", "exact", "resistance model: exact, approx or numeric")
+	scheme := flag.String("scheme", "auto", "Poisson backend for the numeric model: auto, sor or mg")
 	noBends := flag.Bool("no-bends", false, "disable meander bend losses")
 	noJunctions := flag.Bool("no-junctions", false, "disable T-junction losses")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the validation (0 = none)")
@@ -43,13 +44,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: oocsim [flags] design.json")
 		os.Exit(2)
 	}
-	// Flag validation happens before any file I/O: a typo'd -model is a
-	// usage error (exit 2 with the valid spellings), not a late runtime
-	// failure after the design was already parsed.
-	opt, err := modelOptions(*model, *noBends, *noJunctions)
+	// Flag validation happens before any file I/O: a typo'd -model or
+	// -scheme is a usage error (exit 2 with the valid spellings), not a
+	// late runtime failure after the design was already parsed.
+	opt, err := modelOptions(*model, *scheme, *noBends, *noJunctions)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocsim:", err)
-		fmt.Fprintf(os.Stderr, "usage: oocsim [-model {%s}] [flags] design.json\n", sim.ModelNames)
+		fmt.Fprintf(os.Stderr, "usage: oocsim [-model {%s}] [-scheme {%s}] [flags] design.json\n", sim.ModelNames, sim.SchemeNames)
 		os.Exit(2)
 	}
 
@@ -77,15 +78,20 @@ func main() {
 	}
 }
 
-// modelOptions resolves the model flag and loss switches into
+// modelOptions resolves the model/scheme flags and loss switches into
 // validation options.
-func modelOptions(model string, noBends, noJunctions bool) (sim.Options, error) {
+func modelOptions(model, scheme string, noBends, noJunctions bool) (sim.Options, error) {
 	m, err := sim.ParseModel(model)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	s, err := sim.ParseScheme(scheme)
 	if err != nil {
 		return sim.Options{}, err
 	}
 	return sim.Options{
 		Model:                 m,
+		Scheme:                s,
 		DisableBendLosses:     noBends,
 		DisableJunctionLosses: noJunctions,
 	}, nil

@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"ooc/internal/core"
 	"ooc/internal/fluid"
@@ -41,11 +40,18 @@ type Options struct {
 	// CellSize is the raster resolution [m]; zero picks 1/3 of the
 	// narrowest channel width.
 	CellSize float64
-	// Tol is the SOR convergence tolerance on the relative update;
-	// zero selects 1e-8.
+	// Tol is the solver convergence tolerance (relative residual for
+	// the CG backend, relative max-norm update for SOR); zero selects
+	// 1e-8.
 	Tol float64
-	// MaxIter bounds SOR iterations; zero selects 40·(nx+ny).
+	// MaxIter bounds solver iterations; zero selects 40·(nx+ny).
 	MaxIter int
+	// Scheme selects the pressure-solve backend: SchemeAuto (zero
+	// value) keeps the historical CG solver, SchemeSOR runs the masked
+	// red-black SOR backend as an independent cross-check, and
+	// SchemeMG falls back to CG (the masked footprint is not nestable;
+	// see solvers.go) while recording the fallback in the collector.
+	Scheme linalg.Scheme
 	// Workers bounds the goroutines used for the per-channel
 	// cross-section factors and the row-parallel Laplacian sweeps;
 	// ≤ 0 selects GOMAXPROCS. The solve is bit-identical for every
@@ -283,15 +289,13 @@ func SolveContext(ctx context.Context, d *core.Design, opt Options) (*Field, err
 	// guess.
 	seedInitialGuess(f, d, cell)
 
-	// Conjugate-gradient solve of the masked five-point Laplacian
-	// A·p = b, where A[c,c] = #masked neighbours and A[c,nb] = −1
-	// (the cell size cancels in the finite-volume fluxes, so b = Q/k).
-	// The system is singular up to an additive constant; the sources
-	// balance, so b is compatible, and the constant mode is projected
-	// out of the residual to keep floating-point drift in check. CG
-	// needs no relaxation-factor tuning and handles the long thin
-	// channel domain (effectively a 1D chain of thousands of cells)
-	// far better than SOR.
+	// Solve the masked five-point system A·p = b, where A[c,c] is the
+	// sum of the face conductivities and A[c,nb] their negatives (the
+	// cell size cancels in the finite-volume fluxes, so b = Q/k). The
+	// system is singular up to an additive constant; the sources
+	// balance, so b is compatible. The backend is picked by
+	// Options.Scheme — see solvers.go for both implementations and why
+	// geometric multigrid is not one of them.
 	tol := opt.Tol
 	if tol == 0 {
 		tol = 1e-8
@@ -308,123 +312,24 @@ func SolveContext(ctx context.Context, d *core.Design, opt Options) (*Field, err
 		}
 	}
 
-	// The masked Laplacian is applied row-parallel through the shared
-	// pool: each row of y is owned by exactly one worker and x is
-	// read-only, so the result is bit-identical to a serial sweep for
-	// any worker count. The inner products and axpy updates of CG stay
-	// serial — keeping every floating-point reduction in a fixed order
-	// keeps the whole solve deterministic.
-	applyA := func(x, y []float64) {
-		parallel.Rows(ny-2, workers, func(lo, hi int) {
-			for jj := lo; jj < hi; jj++ {
-				j := jj + 1
-				for i := 1; i < nx-1; i++ {
-					idx := f.index(i, j)
-					if !f.Mask[idx] {
-						y[idx] = 0
-						continue
-					}
-					var acc float64
-					for _, nb := range [4]int{idx - 1, idx + 1, idx - nx, idx + nx} {
-						if f.Mask[nb] {
-							acc += f.faceG(idx, nb) * (x[idx] - x[nb])
-						}
-					}
-					y[idx] = acc
-				}
-			}
-		})
+	var iters int
+	var err error
+	switch opt.Scheme {
+	case linalg.SchemeSOR:
+		iters, err = solveMaskedSOR(ctx, f, rhs, tol, maxIter, workers)
+	case linalg.SchemeMG:
+		// The V-cycle needs a nestable rectangular hierarchy, which the
+		// masked channel footprint does not have; mg transparently runs
+		// the CG backend and leaves a trace in the collector.
+		obs.FromContext(ctx).Add("field.scheme.mg_fallback", 1)
+		fallthrough
+	default:
+		iters, err = solveMaskedCG(ctx, f, rhs, tol, maxIter, workers)
 	}
-	projectConstant := func(v []float64) {
-		var mean float64
-		for idx, m := range f.Mask {
-			if m {
-				mean += v[idx]
-			}
-		}
-		mean /= float64(f.ChannelCells)
-		for idx, m := range f.Mask {
-			if m {
-				v[idx] -= mean
-			}
-		}
+	f.Iterations = iters
+	if err != nil {
+		return nil, err
 	}
-	dot := func(a, b []float64) float64 {
-		var s float64
-		for idx, m := range f.Mask {
-			if m {
-				s += a[idx] * b[idx]
-			}
-		}
-		return s
-	}
-
-	n := nx * ny
-	r := make([]float64, n)
-	pv := make([]float64, n)
-	ap := make([]float64, n)
-	applyA(f.P, ap)
-	for idx, m := range f.Mask {
-		if m {
-			r[idx] = rhs[idx] - ap[idx]
-		}
-	}
-	projectConstant(r)
-	copy(pv, r)
-	rr := dot(r, r)
-	bNorm := math.Sqrt(dot(rhs, rhs))
-	if bNorm == 0 {
-		bNorm = 1
-	}
-
-	start := time.Now()
-	recordCG := func(iters int, converged bool) {
-		obs.FromContext(ctx).RecordSolve(obs.SolveStats{
-			Solver:     "cg",
-			Iterations: iters,
-			Residual:   math.Sqrt(rr) / bNorm,
-			Wall:       time.Since(start),
-			Converged:  converged,
-		})
-	}
-	var iter int
-	for iter = 1; iter <= maxIter; iter++ {
-		if err := ctx.Err(); err != nil {
-			recordCG(iter-1, false)
-			return nil, fmt.Errorf("field: CG solve aborted after %d iterations: %w", iter-1, err)
-		}
-		if math.Sqrt(rr) <= tol*bNorm {
-			break
-		}
-		applyA(pv, ap)
-		pap := dot(pv, ap)
-		if pap <= 0 {
-			break // numerical breakdown; accept the current iterate
-		}
-		alpha := rr / pap
-		for idx, m := range f.Mask {
-			if m {
-				f.P[idx] += alpha * pv[idx]
-				r[idx] -= alpha * ap[idx]
-			}
-		}
-		projectConstant(r)
-		rrNew := dot(r, r)
-		beta := rrNew / rr
-		rr = rrNew
-		for idx, m := range f.Mask {
-			if m {
-				pv[idx] = r[idx] + beta*pv[idx]
-			}
-		}
-	}
-	f.Iterations = iter
-	if iter > maxIter {
-		recordCG(maxIter, false)
-		return nil, fmt.Errorf("field: CG after %d iterations (residual %.2e): %w",
-			maxIter, math.Sqrt(rr)/bNorm, linalg.ErrNoConvergence)
-	}
-	recordCG(iter, true)
 
 	// The solved p is physical pressure [Pa]; the depth-averaged
 	// velocity is v = −(h²/12µ)∇p = −(k/h)·∇p with one-sided gradients

@@ -1,0 +1,101 @@
+package field
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ooc/internal/linalg"
+	"ooc/internal/obs"
+)
+
+// TestSORSchemeAgreesWithCG: the two backends solve the identical
+// masked system, so the fields they produce must agree — module flows
+// are the physically meaningful output, and pressure is only defined
+// up to a constant, so the comparison is on flows.
+func TestSORSchemeAgreesWithCG(t *testing.T) {
+	d := fig4Design(t)
+	cg, err := Solve(d, Options{CellSize: 150e-6, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sor, err := Solve(d, Options{CellSize: 150e-6, Tol: 1e-9, Scheme: linalg.SchemeSOR})
+	if err != nil {
+		t.Fatalf("SOR backend failed on the Fig. 4 design: %v", err)
+	}
+	cgFlows := cg.ModuleFlows(d)
+	sorFlows := sor.ModuleFlows(d)
+	for i := range cgFlows {
+		rel := math.Abs(sorFlows[i]-cgFlows[i]) / math.Abs(cgFlows[i])
+		if rel > 1e-3 {
+			t.Errorf("module %d flow: sor %g vs cg %g (rel %g)", i, sorFlows[i], cgFlows[i], rel)
+		}
+	}
+}
+
+// TestSORSchemeRecordsStats: the SOR backend must report itself under
+// solver name "sor" so telemetry distinguishes the backends.
+func TestSORSchemeRecordsStats(t *testing.T) {
+	d := fig4Design(t)
+	c := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), c)
+	if _, err := SolveContext(ctx, d, Options{CellSize: 150e-6, Tol: 1e-9, Scheme: linalg.SchemeSOR}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if len(s.Solvers) != 1 || s.Solvers[0].Solver != "sor" || s.Solvers[0].Converged != 1 {
+		t.Fatalf("want one converged sor solve, got %+v", s.Solvers)
+	}
+}
+
+// TestMGSchemeFallsBackToCG: the masked footprint has no nestable
+// hierarchy, so SchemeMG must transparently run CG and leave a
+// fallback trace in the collector.
+func TestMGSchemeFallsBackToCG(t *testing.T) {
+	d := fig4Design(t)
+	c := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), c)
+	if _, err := SolveContext(ctx, d, Options{CellSize: 150e-6, Tol: 1e-9, Scheme: linalg.SchemeMG}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if len(s.Solvers) != 1 || s.Solvers[0].Solver != "cg" {
+		t.Fatalf("mg scheme must run the cg backend, got %+v", s.Solvers)
+	}
+	var found bool
+	for _, kv := range s.Counters {
+		if kv.Name == "field.scheme.mg_fallback" && kv.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mg fallback not recorded: %+v", s.Counters)
+	}
+}
+
+// TestSORSchemeBitDeterministic: the masked SOR backend must produce
+// identical bits for every worker count, like every other parallel
+// kernel in the repo.
+func TestSORSchemeBitDeterministic(t *testing.T) {
+	d := fig4Design(t)
+	solve := func(workers int) *Field {
+		f, err := Solve(d, Options{CellSize: 150e-6, Tol: 1e-9, Scheme: linalg.SchemeSOR, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	ref := solve(1)
+	for _, workers := range []int{2, 7} {
+		got := solve(workers)
+		if got.Iterations != ref.Iterations {
+			t.Fatalf("workers=%d: %d sweeps vs serial %d", workers, got.Iterations, ref.Iterations)
+		}
+		for k := range ref.P {
+			//ooclint:ignore floatcmp bit-identity across worker counts is the property under test
+			if got.P[k] != ref.P[k] {
+				t.Fatalf("workers=%d: pressure cell %d diverged", workers, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package linalg
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"ooc/internal/obs"
+	"ooc/internal/parallel"
+)
+
+// This file implements a geometric multigrid solver for the same
+// five-point Poisson problem SolvePoissonSOR handles:
+//
+//	∇²u = -f   (grid spacings hx, hy, homogeneous Dirichlet walls).
+//
+// SOR's iteration count grows roughly with the square of the grid
+// resolution — information crosses the grid one cell per sweep. The
+// V-cycle attacks every error wavelength on the level where it is
+// cheap: red-black Gauss–Seidel smoothing (the shared rbSweeper
+// kernel) kills the high-frequency error on the fine grid, the smooth
+// remainder is restricted (full weighting) to a grid with half the
+// resolution, solved there recursively, and the correction is
+// interpolated back (bilinear prolongation). The result is a
+// resolution-independent iteration count: ~10 cycles at any size.
+//
+// The level hierarchy is geometric: a level can be coarsened when both
+// dimensions are odd (so the 2:1 nested coarse grid shares the fine
+// boundary), which the power-of-two-plus-one sizes (..., 65, 129, 257)
+// sustain all the way down to 3×3. Grids that cannot be coarsened even
+// once fall back to SolvePoissonSORContext automatically.
+
+// MGPoissonOptions configures SolvePoissonMG.
+//
+// The zero value requests an exact-convergence run — cycle until a
+// V-cycle changes nothing (Tol 0) within the automatic cycle budget —
+// mirroring the SORPoissonOptions contract. Use DefaultMGPoissonOptions
+// for the practical defaults.
+type MGPoissonOptions struct {
+	// Tol is the max-norm update tolerance relative to the largest
+	// solution magnitude, measured across one full V-cycle. Tol 0
+	// demands exact convergence (a cycle that changes no cell);
+	// negative or NaN values are rejected.
+	Tol float64
+	// MaxCycles bounds the V-cycle count; values ≤ 0 select the
+	// automatic budget of 100 cycles (a converging multigrid solve
+	// needs ~10 regardless of resolution, so hitting 100 means the
+	// problem resists coarse-grid correction — e.g. extreme spacing
+	// anisotropy — and ErrNoConvergence is the honest answer).
+	MaxCycles int
+	// PreSmooth and PostSmooth are the red-black Gauss–Seidel sweeps
+	// before restriction and after prolongation at every level;
+	// values ≤ 0 select 2 (the standard V(2,2) cycle).
+	PreSmooth, PostSmooth int
+	// Workers bounds the goroutines used by the parallel kernels on
+	// every level; ≤ 0 selects GOMAXPROCS. As with SOR, the sweep and
+	// transfer orderings depend only on the grid, never on Workers, so
+	// the numerical result is bit-identical for every worker count.
+	Workers int
+}
+
+// DefaultMGPoissonOptions returns the solver's practical defaults:
+// Tol 1e-10 (matching DefaultSORPoissonOptions), automatic cycle
+// budget, V(2,2) smoothing.
+func DefaultMGPoissonOptions() MGPoissonOptions {
+	return MGPoissonOptions{Tol: 1e-10}
+}
+
+// MGNestable reports whether an nx×ny grid supports at least one level
+// of 2:1 geometric coarsening: both dimensions odd (so coarse and fine
+// grids share boundaries) and large enough that the coarse grid still
+// has an interior. SolvePoissonMG falls back to SOR when this is
+// false.
+func MGNestable(nx, ny int) bool {
+	return nx >= 5 && ny >= 5 && nx%2 == 1 && ny%2 == 1
+}
+
+// mgCoarseMax is the interior cell count at or below which a level is
+// solved directly/by serial SOR instead of being coarsened further
+// (when further coarsening is even possible).
+const mgCoarseMax = 9
+
+// mgLevel is one grid of the multigrid hierarchy. Level 0 aliases the
+// caller's grid and source; deeper levels own their storage.
+type mgLevel struct {
+	nx, ny           int
+	ihx2, ihy2, diag float64
+	sw               *rbSweeper
+	u, f, r          []float64
+	// telemetry, reset per solve
+	sweeps   int
+	residual float64
+}
+
+// newMGLevel allocates a level for an nx×ny grid with spacings hx, hy.
+func newMGLevel(nx, ny int, hx, hy float64, workers int, alloc bool) *mgLevel {
+	ihx2 := 1 / (hx * hx)
+	ihy2 := 1 / (hy * hy)
+	l := &mgLevel{
+		nx: nx, ny: ny,
+		ihx2: ihx2, ihy2: ihy2, diag: 2 * (ihx2 + ihy2),
+		r: make([]float64, nx*ny),
+	}
+	// Smoothing omega 1: red-black Gauss–Seidel is already an optimal
+	// smoother for the five-point stencil; over-relaxation helps the
+	// standalone SOR solve, not the multigrid smoothing factor.
+	l.sw = newRBSweeper(nx, ny, ihx2, ihy2, l.diag, 1, workers)
+	if alloc {
+		l.u = make([]float64, nx*ny)
+		l.f = make([]float64, nx*ny)
+	}
+	return l
+}
+
+// computeResidual fills l.r with r = f - A·u on the interior (the
+// boundary stays zero) and records the residual max-norm for the
+// per-level telemetry. Each row of r is owned by exactly one worker,
+// and the max-norm is reduced per row and combined with max(), so both
+// are bit-deterministic for any worker count.
+func (l *mgLevel) computeResidual(rowMax []float64, workers int) {
+	nx := l.nx
+	parallel.Rows(l.ny-2, workers, func(lo, hi int) {
+		for jj := lo; jj < hi; jj++ {
+			j := jj + 1
+			row := j * nx
+			mx := 0.0
+			for i := 1; i < nx-1; i++ {
+				k := row + i
+				r := l.f[k] - (l.diag*l.u[k] - l.ihx2*(l.u[k-1]+l.u[k+1]) - l.ihy2*(l.u[k-nx]+l.u[k+nx]))
+				l.r[k] = r
+				if a := math.Abs(r); a > mx {
+					mx = a
+				}
+			}
+			rowMax[j] = mx
+		}
+	})
+	mx := 0.0
+	for j := 1; j < l.ny-1; j++ {
+		if rowMax[j] > mx {
+			mx = rowMax[j]
+		}
+	}
+	l.residual = mx
+}
+
+// restrictFullWeighting transfers the fine residual to the coarse
+// source term with the standard 9-point full-weighting stencil
+// (weights 4/16 centre, 2/16 edges, 1/16 corners). Coarse point (I, J)
+// sits on fine point (2I, 2J); only coarse interior points are
+// written, the coarse boundary keeps its homogeneous-Dirichlet zero.
+func restrictFullWeighting(fine, coarse *mgLevel, workers int) {
+	fnx := fine.nx
+	cnx := coarse.nx
+	parallel.Rows(coarse.ny-2, workers, func(lo, hi int) {
+		for jj := lo; jj < hi; jj++ {
+			J := jj + 1
+			k := 2*J*fnx // fine row of this coarse row
+			for I := 1; I < cnx-1; I++ {
+				c := k + 2*I
+				coarse.f[J*cnx+I] = (4*fine.r[c] +
+					2*(fine.r[c-1]+fine.r[c+1]+fine.r[c-fnx]+fine.r[c+fnx]) +
+					fine.r[c-1-fnx] + fine.r[c+1-fnx] + fine.r[c-1+fnx] + fine.r[c+1+fnx]) / 16
+			}
+		}
+	})
+}
+
+// prolongateAdd interpolates the coarse correction bilinearly and adds
+// it to the fine solution. The gather formulation (each fine cell
+// reads its coarse parents) keeps every output row owned by one
+// worker.
+func prolongateAdd(coarse, fine *mgLevel, workers int) {
+	fnx := fine.nx
+	cnx := coarse.nx
+	parallel.Rows(fine.ny-2, workers, func(lo, hi int) {
+		for jj := lo; jj < hi; jj++ {
+			j := jj + 1
+			J := j / 2
+			row := J * cnx
+			for i := 1; i < fnx-1; i++ {
+				I := i / 2
+				var e float64
+				switch {
+				case j%2 == 0 && i%2 == 0:
+					e = coarse.u[row+I]
+				case j%2 == 0: // i odd: horizontal midpoint
+					e = 0.5 * (coarse.u[row+I] + coarse.u[row+I+1])
+				case i%2 == 0: // j odd: vertical midpoint
+					e = 0.5 * (coarse.u[row+I] + coarse.u[row+cnx+I])
+				default: // cell centre
+					e = 0.25 * (coarse.u[row+I] + coarse.u[row+I+1] +
+						coarse.u[row+cnx+I] + coarse.u[row+cnx+I+1])
+				}
+				fine.u[j*fnx+i] += e
+			}
+		}
+	})
+}
+
+// mgState is one solve's hierarchy plus the resolved options.
+type mgState struct {
+	levels    []*mgLevel
+	rowMax    []float64 // residual-reduction scratch, sized for the finest level
+	pre, post int
+	workers   int
+}
+
+// mgAborted wraps the context error that cut a solve short, mirroring
+// sorAborted.
+func mgAborted(cycles int, ctxErr error) error {
+	return fmt.Errorf("linalg: multigrid solve aborted after %d cycles: %w", cycles, ctxErr)
+}
+
+// coarseSolve solves the deepest level. A 3×3 level has a single
+// unknown and is solved directly; anything larger runs the serial
+// lexicographic SOR kernel at near machine precision with the
+// near-optimal omega. Non-convergence of the coarse solve is not an
+// error — the V-cycle contracts with an approximate coarse solution
+// too, and the finest-level convergence test is the arbiter — but a
+// context abort propagates.
+func (m *mgState) coarseSolve(ctx context.Context, l *mgLevel) error {
+	if l.nx == 3 && l.ny == 3 {
+		k := l.nx + 1 // the single interior cell
+		l.u[k] = l.f[k] / l.diag
+		l.sweeps++
+		l.residual = 0
+		return nil
+	}
+	rho := (math.Cos(math.Pi/float64(l.nx-1)) + math.Cos(math.Pi/float64(l.ny-1))) / 2
+	omega := 2 / (1 + math.Sqrt(1-rho*rho))
+	g := &Grid2D{Nx: l.nx, Ny: l.ny, V: l.u}
+	it, rel, err := solveSORLex(ctx, g, l.f, l.ihx2, l.ihy2, l.diag, omega, 1e-13, 100*(l.nx+l.ny))
+	l.sweeps += it
+	l.residual = rel
+	if err != nil && ctx.Err() != nil {
+		return err
+	}
+	return nil
+}
+
+// vcycle runs one V-cycle rooted at level lvl.
+func (m *mgState) vcycle(ctx context.Context, lvl int) error {
+	l := m.levels[lvl]
+	if lvl == len(m.levels)-1 {
+		return m.coarseSolve(ctx, l)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for s := 0; s < m.pre; s++ {
+		l.sw.sweep(l.u, l.f)
+		l.sweeps++
+	}
+	l.computeResidual(m.rowMax, m.workers)
+	next := m.levels[lvl+1]
+	restrictFullWeighting(l, next, m.workers)
+	for i := range next.u {
+		next.u[i] = 0
+	}
+	if err := m.vcycle(ctx, lvl+1); err != nil {
+		return err
+	}
+	prolongateAdd(next, l, m.workers)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for s := 0; s < m.post; s++ {
+		l.sw.sweep(l.u, l.f)
+		l.sweeps++
+	}
+	return nil
+}
+
+// SolvePoissonMG solves the interior of the Poisson problem
+//
+//	∇²u = -f   (five-point stencil, grid spacings hx, hy)
+//
+// with homogeneous Dirichlet boundaries using a geometric multigrid
+// V-cycle, and returns the number of cycles performed. The grid g
+// provides the initial guess and receives the solution; f must have
+// the same shape as g. It accepts exactly the problems SolvePoissonSOR
+// accepts and converges to the same solution within the requested
+// tolerance — only the iteration trajectory differs.
+func SolvePoissonMG(g *Grid2D, f []float64, hx, hy float64, opt MGPoissonOptions) (int, error) {
+	st, err := SolvePoissonMGContext(context.Background(), g, f, hx, hy, opt)
+	return st.Iterations, err
+}
+
+// SolvePoissonMGContext is SolvePoissonMG with cooperative
+// cancellation and telemetry, mirroring SolvePoissonSORContext: the
+// solver checks ctx between smoothing passes — also mid-V-cycle, so
+// deep hierarchies abort promptly — and wraps ctx.Err() distinctly
+// from ErrNoConvergence. Every solve records an obs.SolveStats under
+// solver name "mg" plus per-level obs.MGLevelStats (grid size,
+// smoothing sweeps, last residual max-norm) into the collector carried
+// by ctx.
+//
+// Grids that cannot be coarsened even once (an even dimension, or
+// smaller than 5×5) fall back to SolvePoissonSORContext: the result is
+// the SOR solve's, recorded under solver name "sor", with Tol and
+// Workers carried over and SOR's own automatic iteration budget.
+func SolvePoissonMGContext(ctx context.Context, g *Grid2D, f []float64, hx, hy float64, opt MGPoissonOptions) (obs.SolveStats, error) {
+	if len(f) != len(g.V) {
+		return obs.SolveStats{}, fmt.Errorf("%w: grid %dx%d, source length %d", ErrShape, g.Nx, g.Ny, len(f))
+	}
+	if hx <= 0 || hy <= 0 {
+		return obs.SolveStats{}, fmt.Errorf("linalg: non-positive grid spacing (%g, %g)", hx, hy)
+	}
+	nx, ny := g.Nx, g.Ny
+	if nx < 3 || ny < 3 {
+		return obs.SolveStats{}, fmt.Errorf("linalg: grid %dx%d has no interior", nx, ny)
+	}
+	tol := opt.Tol
+	if tol < 0 || math.IsNaN(tol) {
+		return obs.SolveStats{}, fmt.Errorf("linalg: invalid multigrid tolerance %g", tol)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !MGNestable(nx, ny) {
+		// Non-nestable grid: SOR is the honest solver for it. MaxCycles
+		// deliberately does not map onto SOR sweeps (a cycle is worth
+		// many sweeps); the SOR solve gets its own automatic budget.
+		return SolvePoissonSORContext(ctx, g, f, hx, hy, SORPoissonOptions{
+			Tol:     tol,
+			Workers: opt.Workers,
+		})
+	}
+	maxCycles := opt.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 100
+	}
+	pre, post := opt.PreSmooth, opt.PostSmooth
+	if pre <= 0 {
+		pre = 2
+	}
+	if post <= 0 {
+		post = 2
+	}
+	workers := parallel.Workers(opt.Workers)
+
+	// Build the hierarchy: coarsen while the current level is nestable
+	// and still coarse-solve-worthy; spacings double with each level.
+	m := &mgState{pre: pre, post: post, workers: workers, rowMax: make([]float64, ny)}
+	finest := newMGLevel(nx, ny, hx, hy, workers, false)
+	finest.u, finest.f = g.V, f
+	m.levels = append(m.levels, finest)
+	cnx, cny, chx, chy := nx, ny, hx, hy
+	for MGNestable(cnx, cny) && (cnx-2)*(cny-2) > mgCoarseMax {
+		cnx, cny = (cnx+1)/2, (cny+1)/2
+		chx, chy = 2*chx, 2*chy
+		m.levels = append(m.levels, newMGLevel(cnx, cny, chx, chy, workers, true))
+	}
+
+	start := time.Now()
+	uOld := make([]float64, len(g.V))
+	rel := math.Inf(1)
+	var cycles int
+	var solveErr error
+	for it := 1; it <= maxCycles; it++ {
+		if err := ctx.Err(); err != nil {
+			solveErr = mgAborted(cycles, err)
+			break
+		}
+		copy(uOld, g.V)
+		if err := m.vcycle(ctx, 0); err != nil {
+			solveErr = mgAborted(cycles, err)
+			break
+		}
+		cycles = it
+		// Cycle convergence: max update across the whole V-cycle
+		// relative to the largest solution magnitude — the same measure
+		// SOR applies per sweep. Serial reduction keeps it exact.
+		var maxUpd, maxVal float64
+		for k, v := range g.V {
+			if a := math.Abs(v - uOld[k]); a > maxUpd {
+				maxUpd = a
+			}
+			if a := math.Abs(v); a > maxVal {
+				maxVal = a
+			}
+		}
+		if maxVal == 0 {
+			maxVal = 1
+		}
+		rel = maxUpd / maxVal
+		if maxUpd <= tol*maxVal {
+			solveErr = nil
+			break
+		}
+		if it == maxCycles {
+			solveErr = ErrNoConvergence
+		}
+	}
+
+	st := obs.SolveStats{
+		Solver:     "mg",
+		Iterations: cycles,
+		Residual:   rel,
+		Wall:       time.Since(start),
+		Converged:  solveErr == nil,
+	}
+	col := obs.FromContext(ctx)
+	col.RecordSolve(st)
+	levels := make([]obs.MGLevelStats, len(m.levels))
+	for i, l := range m.levels {
+		levels[i] = obs.MGLevelStats{
+			Level: i, Nx: l.nx, Ny: l.ny,
+			Sweeps:   l.sweeps,
+			Residual: l.residual,
+		}
+	}
+	col.RecordMGLevels(levels)
+	return st, solveErr
+}

@@ -1,0 +1,310 @@
+package linalg
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ooc/internal/obs"
+)
+
+// TestMGManufacturedSolution verifies the multigrid solver against the
+// analytic eigenfunction u = sin(πx)·sin(πy), the same bar the SOR
+// suite sets.
+func TestMGManufacturedSolution(t *testing.T) {
+	nx, ny := 65, 65
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	g := mustGrid(t, nx, ny)
+	f := eigenSource(nx, ny, hx, hy)
+	cycles, err := SolvePoissonMG(g, f, hx, hy, MGPoissonOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("after %d cycles: %v", cycles, err)
+	}
+	if cycles >= 30 {
+		t.Fatalf("multigrid took %d cycles; expected resolution-independent convergence (~10)", cycles)
+	}
+	var maxErr float64
+	for j := 1; j < ny-1; j++ {
+		for i := 1; i < nx-1; i++ {
+			x := float64(i) * hx
+			y := float64(j) * hy
+			want := math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+			if e := math.Abs(g.At(i, j) - want); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	if maxErr > 5e-3 {
+		t.Fatalf("max error %g too large (cycles=%d)", maxErr, cycles)
+	}
+}
+
+// TestMGAgreesWithSOR: both solvers discretize the identical system,
+// so their converged solutions must agree to the tolerance level.
+func TestMGAgreesWithSOR(t *testing.T) {
+	nx, ny := 65, 33
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	f := eigenSource(nx, ny, hx, hy)
+
+	sor := mustGrid(t, nx, ny)
+	if _, err := SolvePoissonSOR(sor, f, hx, hy, SORPoissonOptions{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := mustGrid(t, nx, ny)
+	if _, err := SolvePoissonMG(mgr, f, hx, hy, MGPoissonOptions{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	var maxDiff float64
+	for k := range sor.V {
+		if d := math.Abs(sor.V[k] - mgr.V[k]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-9 {
+		t.Fatalf("mg and sor solutions differ by %g", maxDiff)
+	}
+}
+
+// TestMGIterationAdvantage pins the claim the scheme exists for: at
+// resolution 129 the V-cycle count must undercut the SOR sweep count
+// by at least 3× (it is closer to 50× in practice, and the gap widens
+// with resolution while SOR's count grows with it).
+func TestMGIterationAdvantage(t *testing.T) {
+	nx, ny := 129, 129
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	f := eigenSource(nx, ny, hx, hy)
+
+	sor := mustGrid(t, nx, ny)
+	sorSt, err := SolvePoissonSORContext(context.Background(), sor, f, hx, hy, DefaultSORPoissonOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := mustGrid(t, nx, ny)
+	mgSt, err := SolvePoissonMGContext(context.Background(), mgr, f, hx, hy, DefaultMGPoissonOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgSt.Solver != "mg" {
+		t.Fatalf("nestable 129x129 grid did not use multigrid: %+v", mgSt)
+	}
+	if sorSt.Iterations < 3*mgSt.Iterations {
+		t.Fatalf("iteration advantage below 3x: sor %d vs mg %d cycles",
+			sorSt.Iterations, mgSt.Iterations)
+	}
+}
+
+// TestMGBitDeterministicAcrossWorkers: like the red-black SOR sweep,
+// the whole V-cycle — smoothing, restriction, prolongation, coarse
+// solve — must produce identical bits for every worker count.
+func TestMGBitDeterministicAcrossWorkers(t *testing.T) {
+	nx, ny := 65, 33
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	f := eigenSource(nx, ny, hx, hy)
+
+	solve := func(workers int) ([]float64, int) {
+		g := mustGrid(t, nx, ny)
+		st, err := SolvePoissonMGContext(context.Background(), g, f, hx, hy, MGPoissonOptions{Tol: 1e-11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.V, st.Iterations
+	}
+	ref, refCycles := solve(1)
+	for _, workers := range []int{2, 3, 8} {
+		got, cycles := solve(workers)
+		if cycles != refCycles {
+			t.Fatalf("workers=%d: cycle count %d differs from serial %d", workers, cycles, refCycles)
+		}
+		for k := range ref {
+			//ooclint:ignore floatcmp bit-identity across worker counts is the property under test
+			if got[k] != ref[k] {
+				t.Fatalf("workers=%d: cell %d diverged", workers, k)
+			}
+		}
+	}
+}
+
+// TestMGNonNestableFallsBack: a grid with an even dimension cannot
+// host a 2:1 nested hierarchy; the solve must transparently run SOR
+// (and say so in its stats) rather than fail.
+func TestMGNonNestableFallsBack(t *testing.T) {
+	nx, ny := 64, 65 // nx even: not nestable
+	if MGNestable(nx, ny) {
+		t.Fatal("test premise broken: 64x65 should not be nestable")
+	}
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	g := mustGrid(t, nx, ny)
+	f := eigenSource(nx, ny, hx, hy)
+	st, err := SolvePoissonMGContext(context.Background(), g, f, hx, hy, MGPoissonOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solver != "sor" {
+		t.Fatalf("non-nestable grid solved by %q, want the sor fallback", st.Solver)
+	}
+	if !st.Converged || st.Iterations == 0 {
+		t.Fatalf("fallback solve did not converge: %+v", st)
+	}
+}
+
+// TestMG3x3MinimumGrid: the smallest legal grid has one unknown; the
+// fallback must solve it exactly.
+func TestMG3x3MinimumGrid(t *testing.T) {
+	g := mustGrid(t, 3, 3)
+	f := make([]float64, 9)
+	f[4] = 1 // unit source at the single interior cell
+	h := 0.5
+	if _, err := SolvePoissonMG(g, f, h, h, DefaultMGPoissonOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Single unknown: diag·u = f  ⇒  u = f / (2/h² + 2/h²).
+	want := 1.0 / (4 / (h * h))
+	if math.Abs(g.At(1, 1)-want) > 1e-15 {
+		t.Fatalf("3x3 solution %g, want %g", g.At(1, 1), want)
+	}
+}
+
+// TestMGAlreadyConvergedGuess: handing the solver its own converged
+// output must cost at most a couple of verification cycles.
+func TestMGAlreadyConvergedGuess(t *testing.T) {
+	nx, ny := 33, 33
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	g := mustGrid(t, nx, ny)
+	f := eigenSource(nx, ny, hx, hy)
+	if _, err := SolvePoissonMG(g, f, hx, hy, MGPoissonOptions{Tol: 1e-11}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := SolvePoissonMGContext(context.Background(), g, f, hx, hy, MGPoissonOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 2 {
+		t.Fatalf("re-solving a converged state took %d cycles", st.Iterations)
+	}
+	if !st.Converged {
+		t.Fatal("re-solve of converged state did not converge")
+	}
+}
+
+func TestMGArgumentValidation(t *testing.T) {
+	g := mustGrid(t, 9, 9)
+	if _, err := SolvePoissonMG(g, make([]float64, 5), 0.1, 0.1, DefaultMGPoissonOptions()); !errors.Is(err, ErrShape) {
+		t.Errorf("short source: %v", err)
+	}
+	if _, err := SolvePoissonMG(g, make([]float64, 81), 0, 0.1, DefaultMGPoissonOptions()); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := SolvePoissonMG(g, make([]float64, 81), 0.1, 0.1, MGPoissonOptions{Tol: -1e-9}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := SolvePoissonMG(g, make([]float64, 81), 0.1, 0.1, MGPoissonOptions{Tol: math.NaN()}); err == nil {
+		t.Error("NaN tolerance accepted")
+	}
+	small := mustGrid(t, 2, 2)
+	if _, err := SolvePoissonMG(small, make([]float64, 4), 0.1, 0.1, DefaultMGPoissonOptions()); err == nil {
+		t.Error("grid without interior accepted")
+	}
+}
+
+// mgTestProblem mirrors sorTestProblem for the context tests.
+func mgTestProblem(t *testing.T) (*Grid2D, []float64, float64, float64) {
+	t.Helper()
+	nx, ny := 65, 65
+	hx := 1.0 / float64(nx-1)
+	hy := 1.0 / float64(ny-1)
+	g := mustGrid(t, nx, ny)
+	f := eigenSource(nx, ny, hx, hy)
+	return g, f, hx, hy
+}
+
+func TestMGContextPreCancelled(t *testing.T) {
+	g, f, hx, hy := mgTestProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := SolvePoissonMGContext(ctx, g, f, hx, hy, DefaultMGPoissonOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrNoConvergence) {
+		t.Fatal("cancellation must not be conflated with ErrNoConvergence")
+	}
+	if st.Iterations != 0 || st.Converged {
+		t.Fatalf("pre-cancelled solve reported progress: %+v", st)
+	}
+}
+
+func TestMGContextExpiredDeadline(t *testing.T) {
+	g, f, hx, hy := mgTestProblem(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := SolvePoissonMGContext(ctx, g, f, hx, hy, DefaultMGPoissonOptions())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("deadline and cancellation must be distinguishable")
+	}
+}
+
+// TestMGMidVCycleAbort: the solver checks the context inside the
+// V-cycle (between smoothing passes at every level), so an abort that
+// lands mid-cycle must surface promptly — the property the <1s
+// cancellation bound of the grid-evaluation smoke relies on.
+func TestMGMidVCycleAbort(t *testing.T) {
+	g, f, hx, hy := mgTestProblem(t)
+	// The countdown expires after a handful of Err checks — more than
+	// zero (so the first cycle starts) but far fewer than one cycle
+	// performs across its levels, guaranteeing a mid-V-cycle abort.
+	ctx := &countdownCtx{Context: context.Background(), remaining: 3}
+	c := obs.NewCollector()
+	start := time.Now()
+	st, err := SolvePoissonMGContext(obs.WithCollector(ctx, c), g, f, hx, hy, DefaultMGPoissonOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("mid-V-cycle abort took %v, want <1s", elapsed)
+	}
+	if st.Converged {
+		t.Fatal("aborted solve must not report convergence")
+	}
+	if s := c.Snapshot(); len(s.Solvers) != 1 || s.Solvers[0].Solver != "mg" || s.Solvers[0].Converged != 0 {
+		t.Fatalf("collector recorded aborted solve wrong: %+v", s.Solvers)
+	}
+}
+
+// TestMGRecordsLevelStats: the per-level telemetry must describe the
+// actual hierarchy — level 0 at the solve's size, each deeper level
+// half the resolution, smoothing work recorded on every level.
+func TestMGRecordsLevelStats(t *testing.T) {
+	g, f, hx, hy := mgTestProblem(t)
+	c := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), c)
+	if _, err := SolvePoissonMGContext(ctx, g, f, hx, hy, DefaultMGPoissonOptions()); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if len(s.MGLevels) < 3 {
+		t.Fatalf("65x65 hierarchy recorded %d levels, want >= 3: %+v", len(s.MGLevels), s.MGLevels)
+	}
+	if l0 := s.MGLevels[0]; l0.Level != 0 || l0.Nx != 65 || l0.Ny != 65 || l0.Sweeps == 0 {
+		t.Fatalf("finest-level stats wrong: %+v", l0)
+	}
+	for i := 1; i < len(s.MGLevels); i++ {
+		prev, cur := s.MGLevels[i-1], s.MGLevels[i]
+		if cur.Level != prev.Level+1 || cur.Nx != (prev.Nx+1)/2 || cur.Ny != (prev.Ny+1)/2 {
+			t.Fatalf("level %d does not halve level %d: %+v vs %+v", i, i-1, cur, prev)
+		}
+		if cur.Sweeps == 0 || cur.Solves != prev.Solves {
+			t.Fatalf("level %d work not recorded: %+v", i, cur)
+		}
+	}
+}

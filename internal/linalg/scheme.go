@@ -1,0 +1,35 @@
+package linalg
+
+import "fmt"
+
+// Scheme selects the Poisson-solver backend behind a numeric solve
+// site. It is the knob the whole stack shares: sim's cross-section
+// solver, field's pressure solve, and the CLIs/daemon all accept it
+// (spelled through sim.ParseScheme). Each solve site documents what
+// SchemeAuto resolves to for its problem.
+type Scheme int
+
+const (
+	// SchemeAuto lets the solve site pick: multigrid where the grid is
+	// large and nestable, the site's historical solver otherwise.
+	SchemeAuto Scheme = iota
+	// SchemeSOR forces successive over-relaxation.
+	SchemeSOR
+	// SchemeMG forces the geometric multigrid V-cycle (which itself
+	// falls back to SOR on non-nestable grids).
+	SchemeMG
+)
+
+// String names the scheme as sim.ParseScheme spells it.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAuto:
+		return "auto"
+	case SchemeSOR:
+		return "sor"
+	case SchemeMG:
+		return "mg"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}

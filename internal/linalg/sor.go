@@ -218,63 +218,97 @@ func solveSORLex(ctx context.Context, g *Grid2D, f []float64, ihx2, ihy2, diag, 
 	return maxIter, rel, ErrNoConvergence
 }
 
-// solveSORRedBlack sweeps the grid in red-black (checkerboard) order:
-// first every cell with even i+j, then every cell with odd i+j. Cells
-// of one color depend only on the other color, so all updates within
-// a color pass are independent — each row can be relaxed on any
-// worker, in any schedule, and produce identical bits. Convergence
-// statistics are reduced per row and combined with max(), which is
-// order-insensitive, so the returned iteration count is deterministic
-// too.
-func solveSORRedBlack(ctx context.Context, g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter, workers int) (int, float64, error) {
-	nx, ny := g.Nx, g.Ny
-	workers = parallel.Workers(workers)
-	rowUpd := make([]float64, ny)
-	rowVal := make([]float64, ny)
-	sweep := func(color int) {
-		parallel.Rows(ny-2, workers, func(lo, hi int) {
-			for jj := lo; jj < hi; jj++ {
-				j := jj + 1
-				row := j * nx
-				// First interior column of this color: i ≥ 1 with
-				// (i+j) % 2 == color.
-				i0 := 1 + (color+j+1)%2
-				maxUpd, maxVal := rowUpd[j], rowVal[j]
-				for i := i0; i < nx-1; i += 2 {
-					k := row + i
-					gs := (ihx2*(g.V[k-1]+g.V[k+1]) + ihy2*(g.V[k-nx]+g.V[k+nx]) + f[k]) / diag
-					upd := omega * (gs - g.V[k])
-					g.V[k] += upd
-					if a := math.Abs(upd); a > maxUpd {
-						maxUpd = a
-					}
-					if a := math.Abs(g.V[k]); a > maxVal {
-						maxVal = a
-					}
-				}
-				rowUpd[j], rowVal[j] = maxUpd, maxVal
-			}
-		})
+// rbSweeper is the shared red-black Gauss–Seidel relaxation kernel:
+// one full sweep relaxes first every cell with even i+j, then every
+// cell with odd i+j. Cells of one color depend only on the other
+// color, so all updates within a color pass are independent — each row
+// can be relaxed on any worker, in any schedule, and produce identical
+// bits. Convergence statistics are reduced per row and combined with
+// max(), which is order-insensitive, so everything a sweep reports is
+// deterministic too.
+//
+// The kernel is shared by SolvePoissonSOR's red-black path and the
+// multigrid smoother (multigrid.go), which run it over the same
+// five-point stencil at every grid level.
+type rbSweeper struct {
+	nx, ny           int
+	ihx2, ihy2, diag float64
+	omega            float64
+	workers          int
+	rowUpd, rowVal   []float64
+}
+
+// newRBSweeper builds a kernel for an nx×ny grid. workers must already
+// be resolved (parallel.Workers).
+func newRBSweeper(nx, ny int, ihx2, ihy2, diag, omega float64, workers int) *rbSweeper {
+	return &rbSweeper{
+		nx: nx, ny: ny,
+		ihx2: ihx2, ihy2: ihy2, diag: diag, omega: omega,
+		workers: workers,
+		rowUpd:  make([]float64, ny),
+		rowVal:  make([]float64, ny),
 	}
+}
+
+// color relaxes every interior cell of one color ((i+j)%2 == color),
+// accumulating per-row max-update / max-value statistics.
+func (s *rbSweeper) color(u, f []float64, color int) {
+	nx := s.nx
+	parallel.Rows(s.ny-2, s.workers, func(lo, hi int) {
+		for jj := lo; jj < hi; jj++ {
+			j := jj + 1
+			row := j * nx
+			// First interior column of this color: i ≥ 1 with
+			// (i+j) % 2 == color.
+			i0 := 1 + (color+j+1)%2
+			maxUpd, maxVal := s.rowUpd[j], s.rowVal[j]
+			for i := i0; i < nx-1; i += 2 {
+				k := row + i
+				gs := (s.ihx2*(u[k-1]+u[k+1]) + s.ihy2*(u[k-nx]+u[k+nx]) + f[k]) / s.diag
+				upd := s.omega * (gs - u[k])
+				u[k] += upd
+				if a := math.Abs(upd); a > maxUpd {
+					maxUpd = a
+				}
+				if a := math.Abs(u[k]); a > maxVal {
+					maxVal = a
+				}
+			}
+			s.rowUpd[j], s.rowVal[j] = maxUpd, maxVal
+		}
+	})
+}
+
+// sweep performs one full red-black sweep over u with source f and
+// returns the sweep's max update and max solution magnitude.
+func (s *rbSweeper) sweep(u, f []float64) (maxUpd, maxVal float64) {
+	for j := range s.rowUpd {
+		s.rowUpd[j], s.rowVal[j] = 0, 0
+	}
+	s.color(u, f, 0)
+	s.color(u, f, 1)
+	for j := 1; j < s.ny-1; j++ {
+		if s.rowUpd[j] > maxUpd {
+			maxUpd = s.rowUpd[j]
+		}
+		if s.rowVal[j] > maxVal {
+			maxVal = s.rowVal[j]
+		}
+	}
+	return maxUpd, maxVal
+}
+
+// solveSORRedBlack sweeps the grid in red-black (checkerboard) order
+// through the shared rbSweeper kernel until the relative max update
+// meets tol.
+func solveSORRedBlack(ctx context.Context, g *Grid2D, f []float64, ihx2, ihy2, diag, omega, tol float64, maxIter, workers int) (int, float64, error) {
+	sw := newRBSweeper(g.Nx, g.Ny, ihx2, ihy2, diag, omega, parallel.Workers(workers))
 	rel := math.Inf(1)
 	for it := 1; it <= maxIter; it++ {
 		if err := ctx.Err(); err != nil {
 			return it - 1, rel, sorAborted(it-1, err)
 		}
-		for j := range rowUpd {
-			rowUpd[j], rowVal[j] = 0, 0
-		}
-		sweep(0)
-		sweep(1)
-		var maxUpd, maxVal float64
-		for j := 1; j < ny-1; j++ {
-			if rowUpd[j] > maxUpd {
-				maxUpd = rowUpd[j]
-			}
-			if rowVal[j] > maxVal {
-				maxVal = rowVal[j]
-			}
-		}
+		maxUpd, maxVal := sw.sweep(g.V, f)
 		if maxVal == 0 {
 			maxVal = 1
 		}

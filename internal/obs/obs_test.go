@@ -217,3 +217,51 @@ func TestReset(t *testing.T) {
 		t.Fatalf("reset incomplete: %+v", s)
 	}
 }
+
+// TestMGLevelAggregation: per-level multigrid stats must aggregate
+// order-insensitively (sweeps summed, residual max'd, solves counted),
+// sort by (level, nx, ny) in the snapshot, appear in Format only when
+// present, and clear on Reset.
+func TestMGLevelAggregation(t *testing.T) {
+	build := func(order [][]MGLevelStats) *Collector {
+		c := NewCollector()
+		for _, levels := range order {
+			c.RecordMGLevels(levels)
+		}
+		return c
+	}
+	solveA := []MGLevelStats{
+		{Level: 0, Nx: 65, Ny: 65, Sweeps: 4, Residual: 1e-3},
+		{Level: 1, Nx: 33, Ny: 33, Sweeps: 4, Residual: 2e-4},
+	}
+	solveB := []MGLevelStats{
+		{Level: 0, Nx: 65, Ny: 65, Sweeps: 8, Residual: 5e-3},
+		{Level: 1, Nx: 33, Ny: 33, Sweeps: 8, Residual: 1e-4},
+	}
+	a := build([][]MGLevelStats{solveA, solveB})
+	b := build([][]MGLevelStats{solveB, solveA})
+
+	s := a.Snapshot()
+	if len(s.MGLevels) != 2 {
+		t.Fatalf("want 2 aggregated levels, got %+v", s.MGLevels)
+	}
+	l0 := s.MGLevels[0]
+	//ooclint:ignore floatcmp max-reduction of recorded residuals must be bit-exact
+	if l0.Level != 0 || l0.Nx != 65 || l0.Solves != 2 || l0.Sweeps != 12 || l0.MaxResidual != 5e-3 {
+		t.Fatalf("level-0 aggregate wrong: %+v", l0)
+	}
+	if got, want := a.Snapshot().Format(), b.Snapshot().Format(); got != want {
+		t.Fatalf("mg level format depends on recording order:\n%s\nvs\n%s", got, want)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "mg levels:") || !strings.Contains(out, "L0 65x65") {
+		t.Fatalf("format lacks the mg level section:\n%s", out)
+	}
+	if empty := NewCollector().Snapshot().Format(); strings.Contains(empty, "mg levels:") {
+		t.Fatalf("empty summary must omit the mg level section:\n%s", empty)
+	}
+	a.Reset()
+	if got := a.Snapshot().MGLevels; len(got) != 0 {
+		t.Fatalf("Reset kept mg levels: %+v", got)
+	}
+}

@@ -20,9 +20,12 @@
 // Endpoints:
 //
 //	POST /v1/design             spec in → generated design (JSON)
-//	POST /v1/validate?model=m   spec in → validation report (JSON, or
+//	POST /v1/validate?model=m&scheme=s
+//	                            spec in → validation report (JSON, or
 //	                            text via Accept: text/plain);
-//	                            m ∈ {exact, approx, numeric}
+//	                            m ∈ {exact, approx, numeric},
+//	                            s ∈ {auto, sor, mg} (Poisson backend
+//	                            for the numeric model)
 //	GET  /healthz               liveness
 //	GET  /metrics               text metrics exposition
 package server
@@ -72,6 +75,10 @@ type Config struct {
 	// requests get this long to finish before their contexts are
 	// cancelled. Default: 5s.
 	DrainTimeout time.Duration
+	// DefaultScheme is the Poisson backend used by validation requests
+	// that do not pass ?scheme=. Default: sim.SchemeAuto. An explicit
+	// ?scheme= always wins.
+	DefaultScheme sim.Scheme
 	// Collector receives the serving telemetry. Default: a fresh
 	// process-lifetime collector (exposed via Collector()).
 	Collector *obs.Collector
@@ -368,7 +375,8 @@ func renderValidation(rep *sim.Report, model sim.Model, wantText bool) (response
 
 // handleValidate serves POST /v1/validate: specification in,
 // validation/tolerance report out. ?model= selects the resistance
-// model; Accept: text/plain selects the human-readable rendering.
+// model, ?scheme= the Poisson backend behind the numeric model;
+// Accept: text/plain selects the human-readable rendering.
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	if r.Method != http.MethodPost {
@@ -379,6 +387,14 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
+	}
+	scheme := s.cfg.DefaultScheme
+	if q := r.URL.Query().Get("scheme"); q != "" {
+		scheme, err = sim.ParseScheme(q)
+		if err != nil {
+			s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
+			return
+		}
 	}
 	spec, key, err := s.readSpec(w, r)
 	if err != nil {
@@ -399,7 +415,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if wantText {
 		rendering = "text"
 	}
-	cacheKey := fmt.Sprintf("validate|%s|%s|%s", model, rendering, key)
+	cacheKey := fmt.Sprintf("validate|%s|%s|%s|%s", model, scheme, rendering, key)
 
 	resp, hit, err := s.cache.do(ctx, s.col, cacheKey, func() (response, bool, error) {
 		if err := s.adm.acquire(ctx); err != nil {
@@ -413,7 +429,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return jsonError(http.StatusUnprocessableEntity, "generate: %v", err), false, nil
 		}
-		rep, err := s.validate(ctx, d, sim.Options{Model: model})
+		rep, err := s.validate(ctx, d, sim.Options{Model: model, Scheme: scheme})
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				return response{}, false, err

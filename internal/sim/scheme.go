@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"fmt"
+
+	"ooc/internal/linalg"
+)
+
+// Scheme selects the Poisson-solver backend for numeric solves. It is
+// an alias of linalg.Scheme so that field (which cannot import sim)
+// shares the same knob; sim owns the parsing because the CLIs and the
+// daemon already source their vocabulary (ParseModel) here.
+type Scheme = linalg.Scheme
+
+// Re-exported so callers configure solves without importing linalg.
+const (
+	SchemeAuto = linalg.SchemeAuto
+	SchemeSOR  = linalg.SchemeSOR
+	SchemeMG   = linalg.SchemeMG
+)
+
+// SchemeNames lists the valid -scheme / ?scheme= spellings in their
+// canonical order; usage and error messages quote it so every consumer
+// (oocsim, oocbench, the oocd query parameter) stays in sync with the
+// Scheme constants.
+const SchemeNames = "auto, sor, mg"
+
+// ParseScheme resolves a user-supplied scheme name. The empty string
+// selects the default SchemeAuto; anything else must be one of
+// SchemeNames or the error lists the valid spellings.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "", "auto":
+		return SchemeAuto, nil
+	case "sor":
+		return SchemeSOR, nil
+	case "mg":
+		return SchemeMG, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheme %q (valid schemes: %s)", name, SchemeNames)
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ooc/internal/fluid"
+	"ooc/internal/obs"
+	"ooc/internal/units"
+)
+
+func schemeTestSection() fluid.CrossSection {
+	return fluid.CrossSection{Width: units.Micrometres(300), Height: units.Micrometres(100)}
+}
+
+// TestParseSchemeTable: the shared spelling check behind every -scheme
+// flag and the ?scheme= query parameter.
+func TestParseSchemeTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    Scheme
+		wantErr bool
+	}{
+		{name: "", want: SchemeAuto},
+		{name: "auto", want: SchemeAuto},
+		{name: "sor", want: SchemeSOR},
+		{name: "mg", want: SchemeMG},
+		{name: "bogus", wantErr: true},
+		{name: "SOR", wantErr: true},
+		{name: "multigrid", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseScheme(tc.name)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("ParseScheme(%q): err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseScheme(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+		if err == nil && got.String() != tc.name && tc.name != "" {
+			t.Errorf("String round-trip broken: %q -> %v -> %q", tc.name, got, got.String())
+		}
+	}
+}
+
+// TestCrossSchemeCacheNeverAliases: forcing sor and mg on the same
+// section and resolution must occupy two distinct cache slots — a hit
+// under one scheme must never return the other scheme's integral.
+func TestCrossSchemeCacheNeverAliases(t *testing.T) {
+	ResetCrossSectionCache()
+	t.Cleanup(ResetCrossSectionCache)
+	cs := schemeTestSection()
+	l, mu := units.Millimetres(1), units.PascalSeconds(1e-3)
+	ctx := context.Background()
+
+	rSOR, err := NumericResistanceContext(ctx, cs, l, mu, 32, SchemeSOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CrossSectionCacheSize(); got != 1 {
+		t.Fatalf("cache size after sor solve: %d, want 1", got)
+	}
+	rMG, err := NumericResistanceContext(ctx, cs, l, mu, 32, SchemeMG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CrossSectionCacheSize(); got != 2 {
+		t.Fatalf("sor and mg entries alias: cache size %d, want 2", got)
+	}
+	// Repeating either scheme must hit its own slot, not grow the map.
+	if _, err := NumericResistanceContext(ctx, cs, l, mu, 32, SchemeSOR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NumericResistanceContext(ctx, cs, l, mu, 32, SchemeMG); err != nil {
+		t.Fatal(err)
+	}
+	if got := CrossSectionCacheSize(); got != 2 {
+		t.Fatalf("repeat solves grew the cache to %d", got)
+	}
+	// The two schemes discretize the same physics; their resistances
+	// differ at most by the mg grid bump (one extra column, an O(h²)
+	// shift), far below a per-mille.
+	rel := math.Abs(float64(rSOR)-float64(rMG)) / float64(rSOR)
+	if rel > 1e-3 {
+		t.Fatalf("sor %g and mg %g disagree (rel %g)", rSOR, rMG, rel)
+	}
+}
+
+// TestSchemeAutoResolution: auto must keep the historical SOR solver
+// at the default resolution (existing results stay bit-identical) and
+// switch to multigrid from resolution 64 up.
+func TestSchemeAutoResolution(t *testing.T) {
+	cs := schemeTestSection()
+	l, mu := units.Millimetres(1), units.PascalSeconds(1e-3)
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{n: 32, want: "sor"},
+		{n: 48, want: "sor"},
+		{n: 64, want: "mg"},
+		{n: 128, want: "mg"},
+	}
+	for _, tc := range cases {
+		ResetCrossSectionCache()
+		col := obs.NewCollector()
+		ctx := obs.WithCollector(context.Background(), col)
+		if _, err := NumericResistanceContext(ctx, cs, l, mu, tc.n, SchemeAuto); err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		s := col.Snapshot()
+		if len(s.Solvers) != 1 || s.Solvers[0].Solver != tc.want {
+			t.Errorf("n=%d: auto picked %+v, want %s", tc.n, s.Solvers, tc.want)
+		}
+	}
+	ResetCrossSectionCache()
+}
+
+// TestSchemesAgreeOnValidation: the acceptance bar from the issue —
+// validating the male_simple design under the numeric model must give
+// the same report whether the cross-sections are solved by SOR or by
+// multigrid, within the validator's own tolerance scale.
+func TestSchemesAgreeOnValidation(t *testing.T) {
+	d := mustDesign(t, maleSimpleSpec())
+	validate := func(scheme Scheme, n int) *Report {
+		ResetCrossSectionCache()
+		rep, err := Validate(d, Options{Model: ModelNumeric, Scheme: scheme, NumericResolution: n})
+		if err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		return rep
+	}
+	for _, n := range []int{32, 64} {
+		sor := validate(SchemeSOR, n)
+		mg := validate(SchemeMG, n)
+		for i := range sor.Modules {
+			ds := sor.Modules[i].FlowDeviation
+			dm := mg.Modules[i].FlowDeviation
+			if math.Abs(ds-dm) > 1e-3 {
+				t.Errorf("n=%d module %s: flow deviation sor %g vs mg %g", n, sor.Modules[i].Name, ds, dm)
+			}
+			ps := sor.Modules[i].PerfusionDeviation
+			pm := mg.Modules[i].PerfusionDeviation
+			if math.Abs(ps-pm) > 1e-3 {
+				t.Errorf("n=%d module %s: perfusion deviation sor %g vs mg %g", n, sor.Modules[i].Name, ps, pm)
+			}
+		}
+	}
+	ResetCrossSectionCache()
+}
+
+// TestNumericAutoUnchangedAtDefaultResolution: under auto at the
+// default resolution the solve must be bit-identical to forcing SOR —
+// the no-surprises guarantee for every pre-scheme caller.
+func TestNumericAutoUnchangedAtDefaultResolution(t *testing.T) {
+	cs := schemeTestSection()
+	l, mu := units.Millimetres(1), units.PascalSeconds(1e-3)
+	ResetCrossSectionCache()
+	auto, err := NumericResistance(cs, l, mu, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCrossSectionCache()
+	sor, err := NumericResistanceContext(context.Background(), cs, l, mu, 32, SchemeSOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCrossSectionCache()
+	//ooclint:ignore floatcmp bit-identity of auto and forced sor is the property under test
+	if auto != sor {
+		t.Fatalf("auto %v differs from forced sor %v at the default resolution", auto, sor)
+	}
+}

@@ -64,6 +64,11 @@ type Options struct {
 	// NumericResolution is the cross-section grid resolution for
 	// ModelNumeric; zero selects 32. Ignored by the analytic models.
 	NumericResolution int
+	// Scheme selects the Poisson backend for ModelNumeric's
+	// cross-section solves: SchemeAuto (zero value) picks multigrid at
+	// resolution ≥ 64 and SOR below, SchemeSOR / SchemeMG force one.
+	// Ignored by the analytic models.
+	Scheme Scheme
 	// Workers bounds the goroutines used for the per-channel
 	// resistance computations. Zero selects GOMAXPROCS when the model
 	// actually solves cross-sections numerically (ModelNumeric) and a
@@ -255,7 +260,7 @@ func buildNetwork(ctx context.Context, d *core.Design, opt Options) (*builtNetwo
 		case ModelExact:
 			r, err = fluid.ResistanceExact(c.Cross, c.Length, mu)
 		case ModelNumeric:
-			r, err = NumericResistanceContext(ctx, c.Cross, c.Length, mu, numericN)
+			r, err = NumericResistanceContext(ctx, c.Cross, c.Length, mu, numericN, opt.Scheme)
 			if err != nil && errors.Is(err, context.DeadlineExceeded) {
 				r, err = fluid.ResistanceExact(c.Cross, c.Length, mu)
 				if err == nil {

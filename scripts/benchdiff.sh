@@ -1,0 +1,19 @@
+#!/bin/sh
+# Benchmark-regression gate: evaluate the paper grid under the numeric
+# model and compare accuracy, wall clock, and solver iteration counts
+# against the committed baseline document (BENCH_5.json by default,
+# override with $1). Exits nonzero and lists every violation when the
+# fresh run regresses; regenerate the baseline deliberately with
+#
+#	go run ./cmd/oocbench -json -paper-grid -model numeric > BENCH_5.json
+#
+# after a change that legitimately moves the numbers. Tolerances live
+# in cmd/oocbench (-diff-acc-tol, -diff-wall-tol, -diff-iter-tol);
+# accuracy cells are bit-deterministic for a fixed model/scheme/grid,
+# so the default band only absorbs cross-platform floating point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_5.json}"
+exec go run ./cmd/oocbench -json -paper-grid -model numeric -diff "$BASELINE"

@@ -2,76 +2,130 @@
 # Extended verification: build, vet, race-enabled tests, and the
 # repo's own domain-aware static analysis (ooclint). CI and local
 # pre-merge runs should both go through this script.
-set -eux
+#
+# Every artifact (smoke binaries, daemon logs) lives in a private
+# mktemp directory, so concurrent runs — two CI jobs on one runner, a
+# local run racing CI — never collide; the daemon smoke binds an
+# ephemeral port for the same reason. Each step is timed and a summary
+# is printed at the end, so slow steps are visible at a glance.
+set -eu
 
 cd "$(dirname "$0")/.."
 
-go build ./...
-go vet ./...
-go test -race ./...
-go run ./cmd/ooclint ./...
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ooc-check.XXXXXX")
+TIMINGS="$WORK/timings"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+step() {
+    _name=$1
+    shift
+    echo "==> $_name"
+    _t0=$(date +%s)
+    "$@"
+    _t1=$(date +%s)
+    printf '  %-22s %4ds\n' "$_name" "$((_t1 - _t0))" >> "$TIMINGS"
+}
+
+step build go build ./...
+step vet go vet ./...
+step test go test -race ./...
+step ooclint go run ./cmd/ooclint ./...
 
 # Smoke-run the headline benchmarks once (-benchtime=1x): catches
 # bit-rot in the parallel evaluation path and the cross-section cache
 # without paying for a full measurement run.
-go test -run '^$' -bench 'BenchmarkTableIParallel|BenchmarkCrossSectionCached' -benchtime=1x .
+bench_smoke() {
+    go test -run '^$' -bench 'BenchmarkTableIParallel|BenchmarkCrossSectionCached' -benchtime=1x .
+}
+step bench-smoke bench_smoke
 
 # Cancellation smoke: an already-expired deadline must abort the grid
 # evaluation promptly (cooperative ctx checks in every solver loop),
 # exit nonzero, and say why. GOTRACEBACK=all would dump goroutines on
 # a deadlock; `timeout` turns a hang (leaked worker blocking exit)
 # into a failure.
-go build -o /tmp/oocbench-smoke ./cmd/oocbench
-if out=$(timeout 30 env GOTRACEBACK=all /tmp/oocbench-smoke -timeout 1ms 2>&1); then
-    echo "oocbench -timeout 1ms should have exited nonzero" >&2
-    exit 1
-fi
-echo "$out" | grep -q "deadline" || {
-    echo "oocbench -timeout 1ms did not mention the deadline:" >&2
-    echo "$out" >&2
-    exit 1
+cancel_smoke() {
+    go build -o "$WORK/oocbench" ./cmd/oocbench
+    if out=$(timeout 30 env GOTRACEBACK=all "$WORK/oocbench" -timeout 1ms 2>&1); then
+        echo "oocbench -timeout 1ms should have exited nonzero" >&2
+        return 1
+    fi
+    echo "$out" | grep -q "deadline" || {
+        echo "oocbench -timeout 1ms did not mention the deadline:" >&2
+        echo "$out" >&2
+        return 1
+    }
 }
-rm -f /tmp/oocbench-smoke
+step cancel-smoke cancel_smoke
+
+# Scheme smoke: an unknown -scheme is a usage error (exit 2, valid
+# spellings listed), and a forced-multigrid telemetry run must report
+# per-level multigrid stats.
+scheme_smoke() {
+    if out=$("$WORK/oocbench" -scheme spectral -fig4 2>&1); then
+        echo "oocbench -scheme spectral should have exited nonzero" >&2
+        return 1
+    fi
+    echo "$out" | grep -q "valid schemes" || {
+        echo "oocbench -scheme error did not list the valid schemes:" >&2
+        echo "$out" >&2
+        return 1
+    }
+    "$WORK/oocbench" -fig4 -stats -model numeric -scheme mg | grep -q "mg levels:" || {
+        echo "oocbench -scheme mg -stats did not report multigrid level telemetry" >&2
+        return 1
+    }
+}
+step scheme-smoke scheme_smoke
 
 # Telemetry smoke: -stats on the Fig. 4 instance must report cache
 # traffic with a positive hit rate (same-aspect channels share one
 # normalized cross-section solve).
-go run ./cmd/oocbench -fig4 -stats | grep -q "cross-section cache:" || {
-    echo "oocbench -stats did not report cache telemetry" >&2
-    exit 1
+stats_smoke() {
+    "$WORK/oocbench" -fig4 -stats | grep -q "cross-section cache:" || {
+        echo "oocbench -stats did not report cache telemetry" >&2
+        return 1
+    }
 }
+step stats-smoke stats_smoke
 
 # Daemon smoke: oocd on an ephemeral port must answer /healthz, solve
 # one /v1/design, show the request in /metrics (all probed by
 # oocload -smoke, no curl needed), and drain cleanly within 2s of
 # SIGTERM. `timeout` turns a wedged drain into a failure.
-go build -o /tmp/oocd-smoke ./cmd/oocd
-go build -o /tmp/oocload-smoke ./cmd/oocload
-/tmp/oocd-smoke -addr 127.0.0.1:0 > /tmp/oocd-smoke.out 2>&1 &
-OOCD_PID=$!
-ADDR=""
-for _ in $(seq 1 50); do
-    ADDR=$(sed -n 's/^oocd: listening on //p' /tmp/oocd-smoke.out)
-    [ -n "$ADDR" ] && break
-    sleep 0.1
-done
-[ -n "$ADDR" ] || {
-    echo "oocd never reported its listen address" >&2
-    cat /tmp/oocd-smoke.out >&2
-    kill "$OOCD_PID" 2>/dev/null || true
-    exit 1
+oocd_smoke() {
+    go build -o "$WORK/oocd" ./cmd/oocd
+    go build -o "$WORK/oocload" ./cmd/oocload
+    "$WORK/oocd" -addr 127.0.0.1:0 > "$WORK/oocd.out" 2>&1 &
+    OOCD_PID=$!
+    ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR=$(sed -n 's/^oocd: listening on //p' "$WORK/oocd.out")
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || {
+        echo "oocd never reported its listen address" >&2
+        cat "$WORK/oocd.out" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    "$WORK/oocload" -url "http://$ADDR" -smoke || {
+        echo "oocd smoke probe failed" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    kill -TERM "$OOCD_PID"
+    ( sleep 2; kill -KILL "$OOCD_PID" 2>/dev/null ) &
+    KILLER_PID=$!
+    wait "$OOCD_PID" || {
+        echo "oocd did not exit cleanly within 2s of SIGTERM" >&2
+        return 1
+    }
+    kill "$KILLER_PID" 2>/dev/null || true
 }
-/tmp/oocload-smoke -url "http://$ADDR" -smoke || {
-    echo "oocd smoke probe failed" >&2
-    kill "$OOCD_PID" 2>/dev/null || true
-    exit 1
-}
-kill -TERM "$OOCD_PID"
-( sleep 2; kill -KILL "$OOCD_PID" 2>/dev/null ) &
-KILLER_PID=$!
-wait "$OOCD_PID" || {
-    echo "oocd did not exit cleanly within 2s of SIGTERM" >&2
-    exit 1
-}
-kill "$KILLER_PID" 2>/dev/null || true
-rm -f /tmp/oocd-smoke /tmp/oocload-smoke /tmp/oocd-smoke.out
+step oocd-smoke oocd_smoke
+
+echo "== check.sh step timings =="
+cat "$TIMINGS"
+echo "check.sh: all steps passed"
