@@ -3,16 +3,28 @@
 //
 // Usage:
 //
-//	ooclint [-rules dimension,floatcmp,…] [-list] [path]
+//	ooclint [-rules dimension,floatcmp,…] [-format text|json|github]
+//	        [-workers N] [-baseline file | -no-baseline]
+//	        [-write-baseline] [-list] [path]
 //
 // path defaults to the current directory; a trailing /... is accepted
 // (and implied — the whole module under path is always analyzed).
 //
-// Exit codes: 0 — no findings; 1 — one or more diagnostics reported;
-// 2 — usage or load/type-check failure.
+// Findings accepted by the committed baseline (.ooclint-baseline at
+// the module root, or the file named by -baseline) are suppressed and
+// counted on stderr; -no-baseline disables the lookup and
+// -write-baseline rewrites the file to accept exactly the current
+// findings.
+//
+// Exit codes:
+//
+//	0 — no findings (after baseline suppression), or -list/-write-baseline
+//	1 — one or more diagnostics reported
+//	2 — usage error, unknown rule/format, or load/type-check failure
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +45,11 @@ func run(args []string, out, errw io.Writer) int {
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
 	modPath := fs.String("mod", "", "treat the path as the root of a module with this path (for trees without go.mod)")
+	format := fs.String("format", "text", "output format: text, json, or github")
+	workers := fs.Int("workers", 0, "number of concurrent package analyses (<=0 selects GOMAXPROCS)")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings (default: <module root>/"+analysis.BaselineFile+" when present)")
+	noBaseline := fs.Bool("no-baseline", false, "ignore any baseline file; report every finding")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline file to accept exactly the current findings and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,6 +58,16 @@ func run(args []string, out, errw io.Writer) int {
 			say(out, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		say(errw, "ooclint: unknown format %q (want text, json, or github)\n", *format)
+		return 2
+	}
+	if *noBaseline && *baselinePath != "" {
+		say(errw, "ooclint: -no-baseline and -baseline are mutually exclusive\n")
+		return 2
 	}
 	analyzers, err := analysis.Select(*rules)
 	if err != nil {
@@ -64,7 +91,62 @@ func run(args []string, out, errw io.Writer) int {
 		say(errw, "ooclint: %v\n", err)
 		return 2
 	}
-	diags := analysis.Run(mod, analyzers)
+	diags := analysis.RunWorkers(mod, analyzers, *workers)
+
+	baseFile := *baselinePath
+	if baseFile == "" && !*noBaseline {
+		if def := filepath.Join(mod.Root, analysis.BaselineFile); fileExists(def) {
+			baseFile = def
+		}
+	}
+	if *writeBaseline {
+		if baseFile == "" {
+			baseFile = filepath.Join(mod.Root, analysis.BaselineFile)
+		}
+		b := analysis.BaselineOf(mod.Root, diags)
+		if err := os.WriteFile(baseFile, b.Format(), 0o644); err != nil {
+			say(errw, "ooclint: %v\n", err)
+			return 2
+		}
+		say(errw, "ooclint: wrote %d accepted finding(s) to %s\n", b.Len(), baseFile)
+		return 0
+	}
+	suppressed := 0
+	if baseFile != "" {
+		data, err := os.ReadFile(baseFile)
+		if err != nil {
+			say(errw, "ooclint: %v\n", err)
+			return 2
+		}
+		b, err := analysis.ParseBaseline(data)
+		if err != nil {
+			say(errw, "ooclint: %s: %v\n", baseFile, err)
+			return 2
+		}
+		diags, suppressed = analysis.FilterBaseline(b, mod.Root, diags)
+	}
+
+	switch *format {
+	case "json":
+		printJSON(out, mod.Root, diags)
+	case "github":
+		printGitHub(out, mod.Root, diags)
+	default:
+		printText(out, diags)
+	}
+	if suppressed > 0 {
+		say(errw, "ooclint: %d finding(s) suppressed by baseline %s\n", suppressed, baseFile)
+	}
+	if len(diags) > 0 {
+		say(errw, "ooclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// printText writes the classic compiler-style line per finding, with
+// paths relative to the current directory when they are below it.
+func printText(out io.Writer, diags []analysis.Diagnostic) {
 	cwd, _ := os.Getwd()
 	for _, d := range diags {
 		file := d.Pos.Filename
@@ -75,11 +157,65 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		say(out, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
-		say(errw, "ooclint: %d finding(s)\n", len(diags))
-		return 1
+}
+
+// jsonDiag is the stable machine-readable shape of one finding. File
+// is slash-separated and relative to the module root, so output is
+// independent of where ooclint was invoked from.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func relToRoot(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
 	}
-	return 0
+	return filepath.ToSlash(file)
+}
+
+// printJSON writes the findings as one JSON array (never null), in
+// the same deterministic order as the text output.
+func printJSON(out io.Writer, root string, diags []analysis.Diagnostic) {
+	arr := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		arr = append(arr, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     relToRoot(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(arr)
+}
+
+// printGitHub writes GitHub Actions workflow commands, one
+// `::error …` annotation per finding, so CI runs attach findings to
+// the offending lines in the diff view.
+func printGitHub(out io.Writer, root string, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		say(out, "::error file=%s,line=%d,col=%d::%s: %s\n",
+			relToRoot(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+			d.Analyzer, githubEscape(d.Message))
+	}
+}
+
+// githubEscape encodes the characters the workflow-command grammar
+// reserves in message data.
+func githubEscape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
 }
 
 // say writes formatted output, deliberately discarding the write

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureArgs targets the shared analysis fixture tree, which is
+// guaranteed (by internal/analysis's golden test) to produce findings
+// for every analyzer.
+func fixtureArgs(extra ...string) []string {
+	args := append([]string{"-mod", "fixture"}, extra...)
+	return append(args, filepath.Join("..", "..", "internal", "analysis", "testdata", "src"))
+}
+
+// writeTree materializes files (path → contents) under a fresh temp
+// dir and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const cleanSrc = `package pkg
+
+// Add is analyzer-silent: no floats, errors, units, or caches.
+func Add(a, b int) int { return a + b }
+`
+
+const dirtySrc = `package pkg
+
+// Eq trips floatcmp: an exact == on float64 operands.
+func Eq(a, b float64) bool { return a == b }
+`
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings,
+// 2 usage/load errors.
+func TestExitCodes(t *testing.T) {
+	clean := writeTree(t, map[string]string{"pkg/pkg.go": cleanSrc})
+	dirty := writeTree(t, map[string]string{"pkg/pkg.go": dirtySrc})
+	broken := writeTree(t, map[string]string{"pkg/pkg.go": "package pkg\nfunc {\n"})
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean tree", []string{"-mod", "m", clean}, 0},
+		{"findings", []string{"-mod", "m", dirty}, 1},
+		{"fixture findings", fixtureArgs(), 1},
+		{"parse error", []string{"-mod", "m", broken}, 2},
+		{"missing path", []string{filepath.Join(clean, "no-such-dir")}, 2},
+		{"unknown rule", []string{"-rules", "nonsense", "-mod", "m", clean}, 2},
+		{"unknown format", []string{"-format", "xml", "-mod", "m", clean}, 2},
+		{"unknown flag", []string{"-frobnicate"}, 2},
+		{"baseline flag conflict", []string{"-no-baseline", "-baseline", "x", "-mod", "m", clean}, 2},
+		{"missing baseline file", []string{"-baseline", filepath.Join(clean, "absent"), "-mod", "m", clean}, 2},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if got := run(tc.args, &out, &errw); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, out.String(), errw.String())
+			}
+		})
+	}
+}
+
+// TestJSONFormat checks -format json emits a parseable array with
+// module-root-relative slash paths and 1-based positions.
+func TestJSONFormat(t *testing.T) {
+	root := writeTree(t, map[string]string{"pkg/pkg.go": dirtySrc})
+	var out, errw bytes.Buffer
+	if got := run([]string{"-format", "json", "-mod", "m", root}, &out, &errw); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", got, errw.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output is empty despite exit code 1")
+	}
+	for _, d := range diags {
+		if d.File != "pkg/pkg.go" {
+			t.Errorf("file = %q, want module-root-relative %q", d.File, "pkg/pkg.go")
+		}
+		if d.Analyzer == "" || d.Message == "" || d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestGitHubFormat checks -format github writes one ::error workflow
+// command per finding.
+func TestGitHubFormat(t *testing.T) {
+	root := writeTree(t, map[string]string{"pkg/pkg.go": dirtySrc})
+	var out, errw bytes.Buffer
+	if got := run([]string{"-format", "github", "-mod", "m", root}, &out, &errw); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", got, errw.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=pkg/pkg.go,line=") {
+			t.Errorf("line is not a github annotation with a root-relative path: %q", line)
+		}
+		if !strings.Contains(line, "::floatcmp: ") {
+			t.Errorf("annotation does not carry analyzer-prefixed message: %q", line)
+		}
+	}
+}
+
+// TestGitHubEscape pins the workflow-command escaping of reserved
+// characters in message data.
+func TestGitHubEscape(t *testing.T) {
+	if got := githubEscape("50% off\r\nnewline"); got != "50%25 off%0D%0Anewline" {
+		t.Errorf("githubEscape = %q", got)
+	}
+}
+
+// TestWorkersByteIdentical runs the full fixture tree serially and
+// with several worker counts and demands byte-identical stdout — the
+// CLI-level version of the RunWorkers determinism guarantee.
+func TestWorkersByteIdentical(t *testing.T) {
+	outputs := make(map[string]string)
+	for _, w := range []string{"1", "2", "8"} {
+		var out, errw bytes.Buffer
+		if got := run(fixtureArgs("-workers", w), &out, &errw); got != 1 {
+			t.Fatalf("workers=%s exit = %d, want 1; stderr:\n%s", w, got, errw.String())
+		}
+		outputs[w] = out.String()
+	}
+	if outputs["1"] != outputs["2"] || outputs["1"] != outputs["8"] {
+		t.Errorf("stdout differs across worker counts:\n--- 1 ---\n%s--- 2 ---\n%s--- 8 ---\n%s",
+			outputs["1"], outputs["2"], outputs["8"])
+	}
+}
+
+// TestBaselineWorkflow exercises the full loop: findings → exit 1;
+// -write-baseline → exit 0 and a canonical file; rerun → findings
+// suppressed, exit 0; -no-baseline → findings reappear; a fixed
+// finding leaves a stale entry that no longer suppresses anything.
+func TestBaselineWorkflow(t *testing.T) {
+	root := writeTree(t, map[string]string{"pkg/pkg.go": dirtySrc})
+	mod := []string{"-mod", "m", root}
+
+	var out, errw bytes.Buffer
+	if got := run(mod, &out, &errw); got != 1 {
+		t.Fatalf("pre-baseline exit = %d, want 1", got)
+	}
+
+	out.Reset()
+	errw.Reset()
+	if got := run(append([]string{"-write-baseline"}, mod...), &out, &errw); got != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr:\n%s", got, errw.String())
+	}
+	basePath := filepath.Join(root, ".ooclint-baseline")
+	if _, err := os.Stat(basePath); err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+
+	out.Reset()
+	errw.Reset()
+	if got := run(mod, &out, &errw); got != 0 {
+		t.Fatalf("baselined exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", got, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("baselined run still printed findings:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "suppressed by baseline") {
+		t.Errorf("stderr does not report the suppression count:\n%s", errw.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if got := run(append([]string{"-no-baseline"}, mod...), &out, &errw); got != 1 {
+		t.Fatalf("-no-baseline exit = %d, want 1", got)
+	}
+
+	// Fix the finding: the stale baseline entry must not suppress the
+	// now-clean tree into an error, and the run stays at exit 0.
+	if err := os.WriteFile(filepath.Join(root, "pkg", "pkg.go"), []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errw.Reset()
+	if got := run(mod, &out, &errw); got != 0 {
+		t.Fatalf("clean tree with stale baseline exit = %d, want 0; stderr:\n%s", got, errw.String())
+	}
+}

@@ -2,7 +2,10 @@
 // stdlib-only analyzer framework (go/ast + go/types) with domain-aware
 // passes for the OoC designer — dimensional safety of units
 // quantities, floating-point comparison hygiene, error discipline,
-// physical-constant provenance, and concurrency hazards.
+// physical-constant provenance, concurrency hazards, context/deadline
+// flow through solver loops, bit-determinism (map iteration, wall
+// clock, global RNG), cache-key completeness, and zero-sentinel
+// construction of config structs.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -10,7 +13,10 @@
 //
 // placed on the offending line or on the line directly above it (an
 // omitted rule list suppresses every rule on that line). Suppression
-// is deliberate and visible in review — prefer fixing the code.
+// is deliberate and visible in review — prefer fixing the code. For
+// whole-finding exceptions that should survive refactors, a committed
+// baseline file (see baseline.go) suppresses exact
+// (analyzer, file, message) triples.
 package analysis
 
 import (
@@ -23,6 +29,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"ooc/internal/parallel"
 )
 
 // Diagnostic is one finding, anchored to a source position.
@@ -72,6 +80,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// fileIsTest reports whether file i of the package under analysis is
+// test code (an external _test package or a _test.go file). Invariant
+// analyzers that police production conventions skip such files: tests
+// legitimately capture counters in cache fills, compare sentinels, and
+// construct partial configs.
+func (p *Pass) fileIsTest(i int) bool {
+	return p.Pkg.Test || strings.HasSuffix(p.Pkg.Filenames[i], "_test.go")
+}
+
 // InUnitsHome reports whether the package under analysis is one of the
 // blessed homes for physical constants and quantity definitions.
 func (p *Pass) InUnitsHome() bool {
@@ -87,6 +104,10 @@ func Analyzers() []*Analyzer {
 		ErrCheckAnalyzer,
 		ConstProvAnalyzer,
 		ConcurrencyAnalyzer,
+		CtxFlowAnalyzer,
+		DeterminismAnalyzer,
+		CacheKeyAnalyzer,
+		ZeroSentinelAnalyzer,
 	}
 }
 
@@ -113,11 +134,24 @@ func Select(rules string) ([]*Analyzer, error) {
 
 // Run executes the analyzers over every package of the module and
 // returns the surviving (unsuppressed) diagnostics sorted by position.
+// It is RunWorkers with the default worker count.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	return RunWorkers(mod, analyzers, 0)
+}
+
+// RunWorkers is Run with an explicit package-level fan-out width:
+// packages are analyzed concurrently on up to `workers` goroutines
+// (≤ 0 selects GOMAXPROCS). Analyzers only read the immutable load
+// results (ASTs, type info, shared constant/suppression tables) and
+// report into per-package slices that are merged and sorted after the
+// fan-out, so the returned diagnostics are byte-identical for every
+// worker count.
+func RunWorkers(mod *Module, analyzers []*Analyzer, workers int) []Diagnostic {
 	consts := collectKnownConstants(mod)
 	sup := collectSuppressions(mod)
-	var diags []Diagnostic
-	for _, pkg := range mod.Pkgs {
+	perPkg, _ := parallel.Map(len(mod.Pkgs), workers, func(i int) ([]Diagnostic, error) {
+		pkg := mod.Pkgs[i]
+		var diags []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
 				Fset:     mod.Fset,
@@ -133,6 +167,11 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
+		return diags, nil
+	})
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -120,6 +120,42 @@ func TestSelect(t *testing.T) {
 	}
 }
 
+// TestRegistryNames pins the registry to the nine documented rules in
+// their registration order — README and DESIGN document exactly this
+// list, and rule subsets are addressed by these names.
+func TestRegistryNames(t *testing.T) {
+	want := []string{
+		"dimension", "floatcmp", "errcheck", "constprov", "concurrency",
+		"ctxflow", "determinism", "cachekey", "zerosentinel",
+	}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestRunWorkersDeterministic asserts the parallel driver's output is
+// byte-identical for any worker count: packages fan out, but the
+// merged diagnostics are re-sorted into one canonical order.
+func TestRunWorkersDeterministic(t *testing.T) {
+	mod := loadFixture(t)
+	serial := formatDiags(t, RunWorkers(mod, Analyzers(), 1))
+	if serial == "" {
+		t.Fatal("fixture tree produced no diagnostics")
+	}
+	for _, workers := range []int{0, 2, 4, 16} {
+		if got := formatDiags(t, RunWorkers(mod, Analyzers(), workers)); got != serial {
+			t.Errorf("workers=%d output differs from workers=1\n--- got ---\n%s--- want ---\n%s",
+				workers, got, serial)
+		}
+	}
+}
+
 // TestRuleSubset verifies analyzers can run in isolation.
 func TestRuleSubset(t *testing.T) {
 	mod := loadFixture(t)

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BaselineFile is the committed baseline's conventional name at the
+// module root. ooclint auto-discovers it; entries suppress exact
+// (analyzer, file, message) findings that are intentional — e.g. the
+// daemon's process-lifetime root contexts — without silencing the rule
+// elsewhere. Entries carry no line numbers, so unrelated edits to the
+// file do not invalidate them; changing the finding's message (or
+// fixing it) does.
+const BaselineFile = ".ooclint-baseline"
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	// Analyzer is the rule name.
+	Analyzer string
+	// File is the slash-separated path relative to the module root.
+	File string
+	// Message is the exact diagnostic message.
+	Message string
+}
+
+func (e BaselineEntry) validate() error {
+	if e.Analyzer == "" || e.File == "" {
+		return fmt.Errorf("analysis: baseline entry needs analyzer and file")
+	}
+	for _, s := range []string{e.Analyzer, e.File} {
+		if strings.ContainsAny(s, "\t\n\r") {
+			return fmt.Errorf("analysis: baseline field %q contains tab/newline", s)
+		}
+	}
+	if strings.ContainsAny(e.Message, "\n\r") {
+		return fmt.Errorf("analysis: baseline message %q contains newline", e.Message)
+	}
+	return nil
+}
+
+// Baseline is a set of accepted findings.
+type Baseline struct {
+	set map[BaselineEntry]bool
+}
+
+// NewBaseline builds a baseline from explicit entries.
+func NewBaseline(entries ...BaselineEntry) *Baseline {
+	b := &Baseline{set: make(map[BaselineEntry]bool)}
+	for _, e := range entries {
+		b.set[e] = true
+	}
+	return b
+}
+
+// BaselineOf builds the baseline that accepts exactly the given
+// diagnostics, with file paths relativized against root.
+func BaselineOf(root string, diags []Diagnostic) *Baseline {
+	b := NewBaseline()
+	for _, d := range diags {
+		b.set[baselineKey(root, d)] = true
+	}
+	return b
+}
+
+// baselineKey converts a diagnostic to its baseline identity.
+func baselineKey(root string, d Diagnostic) BaselineEntry {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return BaselineEntry{
+		Analyzer: d.Analyzer,
+		File:     filepath.ToSlash(file),
+		Message:  d.Message,
+	}
+}
+
+// Len reports the number of accepted findings.
+func (b *Baseline) Len() int { return len(b.set) }
+
+// Entries returns the accepted findings sorted by file, analyzer,
+// message — the canonical order Format writes.
+func (b *Baseline) Entries() []BaselineEntry {
+	out := make([]BaselineEntry, 0, len(b.set))
+	for e := range b.set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, c := out[i], out[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return out
+}
+
+// Format renders the baseline in its canonical on-disk form: a header
+// comment, then one tab-separated `analyzer<TAB>file<TAB>"message"`
+// line per entry in Entries order. ParseBaseline(Format(b)) restores
+// the same set.
+func (b *Baseline) Format() []byte {
+	var sb strings.Builder
+	sb.WriteString("# ooclint baseline: accepted findings, one per line as\n")
+	sb.WriteString("# analyzer<TAB>file<TAB>quoted-message\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/ooclint -write-baseline ./...\n")
+	for _, e := range b.Entries() {
+		fmt.Fprintf(&sb, "%s\t%s\t%s\n", e.Analyzer, e.File, strconv.Quote(e.Message))
+	}
+	return []byte(sb.String())
+}
+
+// ParseBaseline reads the on-disk baseline format: blank lines and
+// `#` comments are skipped, every other line must be
+// `analyzer<TAB>file<TAB>quoted-message`.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := NewBaseline()
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		analyzer, rest, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("analysis: baseline line %d: want analyzer<TAB>file<TAB>quoted-message", i+1)
+		}
+		file, quoted, ok := strings.Cut(rest, "\t")
+		if !ok {
+			return nil, fmt.Errorf("analysis: baseline line %d: missing message column", i+1)
+		}
+		msg, err := strconv.Unquote(strings.TrimSpace(quoted))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: baseline line %d: message not a quoted Go string: %w", i+1, err)
+		}
+		e := BaselineEntry{Analyzer: analyzer, File: file, Message: msg}
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("analysis: baseline line %d: %w", i+1, err)
+		}
+		b.set[e] = true
+	}
+	return b, nil
+}
+
+// Matches reports whether d is accepted by the baseline.
+func (b *Baseline) Matches(root string, d Diagnostic) bool {
+	if b == nil {
+		return false
+	}
+	return b.set[baselineKey(root, d)]
+}
+
+// FilterBaseline splits diags into the findings the baseline does not
+// accept and the count it suppressed. A nil baseline keeps everything.
+func FilterBaseline(b *Baseline, root string, diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	for _, d := range diags {
+		if b.Matches(root, d) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

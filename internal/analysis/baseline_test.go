@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func baselineDiag(analyzer, file, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Message:  msg,
+		Pos:      token.Position{Filename: file, Line: 10, Column: 3},
+	}
+}
+
+// TestBaselineRoundTrip checks ParseBaseline(Format(b)) restores the
+// same set, including messages with quotes, tabs, and unicode.
+func TestBaselineRoundTrip(t *testing.T) {
+	entries := []BaselineEntry{
+		{Analyzer: "ctxflow", File: "internal/server/serve.go", Message: `context.Background() mints a fresh root context`},
+		{Analyzer: "floatcmp", File: "a/b.go", Message: `comparison "x == y" of µm values	with a tab`},
+		{Analyzer: "errcheck", File: "a/b.go", Message: `second message in the same file`},
+	}
+	b := NewBaseline(entries...)
+	got, err := ParseBaseline(b.Format())
+	if err != nil {
+		t.Fatalf("ParseBaseline(Format) failed: %v", err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("round trip lost entries: got %d, want %d", got.Len(), b.Len())
+	}
+	for _, e := range entries {
+		if !got.set[e] {
+			t.Errorf("entry %+v lost in round trip", e)
+		}
+	}
+	// Format is canonical: formatting the reparsed set is byte-identical.
+	if string(got.Format()) != string(b.Format()) {
+		t.Errorf("Format not canonical:\n--- reparsed ---\n%s--- original ---\n%s", got.Format(), b.Format())
+	}
+}
+
+// TestParseBaselineTolerance covers comments, blank lines, CRLF, and
+// the malformed-line errors.
+func TestParseBaselineTolerance(t *testing.T) {
+	good := "# comment\n\n  \t\nctxflow\tx.go\t\"msg\"\r\n"
+	b, err := ParseBaseline([]byte(good))
+	if err != nil || b.Len() != 1 {
+		t.Fatalf("ParseBaseline(tolerant input) = %d entries, err %v; want 1, nil", b.Len(), err)
+	}
+	for _, bad := range []string{
+		"ctxflow x.go \"msg\"",       // spaces, not tabs
+		"ctxflow\tx.go",              // missing message column
+		"ctxflow\tx.go\tmsg",         // unquoted message
+		"ctxflow\tx.go\t\"unclosed",  // bad quoting
+		"\tx.go\t\"msg\"",            // empty analyzer
+		"ctxflow\t\t\"msg\"",         // empty file
+	} {
+		if _, err := ParseBaseline([]byte(bad)); err == nil {
+			t.Errorf("ParseBaseline(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+// TestFilterBaseline covers the suppression semantics: exact
+// (analyzer, file, message) matches are suppressed regardless of line
+// number, everything else is kept, and a nil baseline keeps all.
+func TestFilterBaseline(t *testing.T) {
+	root := "/mod"
+	diags := []Diagnostic{
+		baselineDiag("ctxflow", "/mod/internal/server/serve.go", "accepted message"),
+		baselineDiag("ctxflow", "/mod/internal/server/serve.go", "other message"),
+		baselineDiag("errcheck", "/mod/internal/server/serve.go", "accepted message"),
+	}
+	b := NewBaseline(BaselineEntry{
+		Analyzer: "ctxflow",
+		File:     "internal/server/serve.go",
+		Message:  "accepted message",
+	})
+
+	kept, suppressed := FilterBaseline(b, root, diags)
+	if suppressed != 1 || len(kept) != 2 {
+		t.Fatalf("FilterBaseline kept %d, suppressed %d; want 2, 1", len(kept), suppressed)
+	}
+	for _, d := range kept {
+		if d.Analyzer == "ctxflow" && d.Message == "accepted message" {
+			t.Errorf("accepted finding leaked through the baseline: %s", d)
+		}
+	}
+
+	// Line numbers are not part of the identity: the same finding at a
+	// different position is still suppressed.
+	moved := baselineDiag("ctxflow", "/mod/internal/server/serve.go", "accepted message")
+	moved.Pos.Line = 999
+	if !b.Matches(root, moved) {
+		t.Error("baseline match depends on line number; entries must survive line drift")
+	}
+
+	kept, suppressed = FilterBaseline(nil, root, diags)
+	if suppressed != 0 || len(kept) != len(diags) {
+		t.Errorf("nil baseline: kept %d, suppressed %d; want all %d, 0", len(kept), suppressed, len(diags))
+	}
+}
+
+// TestBaselineOf verifies path relativization against the module root.
+func TestBaselineOf(t *testing.T) {
+	d := baselineDiag("determinism", "/mod/internal/transport/transport.go", "m")
+	b := BaselineOf("/mod", []Diagnostic{d})
+	es := b.Entries()
+	if len(es) != 1 || es[0].File != "internal/transport/transport.go" {
+		t.Fatalf("BaselineOf entries = %+v; want one root-relative slash path", es)
+	}
+	if !b.Matches("/mod", d) {
+		t.Error("BaselineOf result does not match its own input diagnostic")
+	}
+}
+
+// FuzzBaselineRoundTrip asserts that any entry whose fields pass
+// validation survives Format → ParseBaseline unchanged.
+func FuzzBaselineRoundTrip(f *testing.F) {
+	f.Add("ctxflow", "internal/server/serve.go", "context.Background() mints a fresh root context")
+	f.Add("floatcmp", "a.go", `message with "quotes" and	tab`)
+	f.Add("errcheck", "weird/päth.go", "ünïcode message \\ backslash")
+	f.Fuzz(func(t *testing.T, analyzer, file, msg string) {
+		e := BaselineEntry{Analyzer: analyzer, File: file, Message: msg}
+		if e.validate() != nil {
+			t.Skip()
+		}
+		// '#'-prefixed or all-blank fields would collide with the comment
+		// and blank-line syntax; Format never writes such lines for
+		// validated entries unless the analyzer itself starts with '#'.
+		if strings.HasPrefix(strings.TrimSpace(analyzer), "#") || strings.TrimSpace(analyzer) == "" {
+			t.Skip()
+		}
+		b := NewBaseline(e)
+		got, err := ParseBaseline(b.Format())
+		if err != nil {
+			t.Fatalf("ParseBaseline(Format(%+v)) failed: %v", e, err)
+		}
+		if got.Len() != 1 || !got.set[e] {
+			t.Fatalf("entry %+v did not survive the round trip: got %+v", e, got.Entries())
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// CtxFlowAnalyzer enforces the repo's context discipline — the PR 3
+// contract that every long-running solve is cancellable and respects
+// deadline budgets:
+//
+//   - context.Context parameters come first (after the receiver), per
+//     the standard library convention the whole call graph relies on;
+//   - convergence loops (iteration/sweep/cycle-counted for-loops, the
+//     shape of every solver hot loop in internal/linalg and
+//     internal/field) must run in a function that can see a context
+//     and must consult it — via ctx.Err(), ctx.Done(), or by passing
+//     ctx into the loop body — so a stuck solve can be cancelled;
+//   - context.Background()/context.TODO() mint fresh root contexts
+//     that silently discard the caller's deadline. Outside package
+//     main they are only accepted in the two sanctioned shapes: a
+//     ≤ 2-statement compatibility wrapper that forwards to a
+//     context-taking implementation, and the `if ctx == nil { ctx =
+//     context.Background() }` nil-guard (a plain assignment to an
+//     existing context variable);
+//   - contexts stored in struct fields outlive their request and hide
+//     cancellation from readers; pass ctx per call instead.
+//
+// Test files are skipped: tests own their lifetimes and routinely
+// start from context.Background().
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "enforce context discipline: ctx parameter first, convergence loops consult ctx, no fresh root contexts outside main/wrappers, no contexts stored in structs",
+	Run:  runCtxFlow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// iterNameRE matches the loop-variable / bound spellings that mark a
+// for-loop as a convergence loop: it, iter(s), iteration(s), sweep(s),
+// cycle(s) and their max* bounds. Range loops never match — they are
+// bounded by data, not by an iteration budget.
+var iterNameRE = regexp.MustCompile(`(?i)^(it|iters?|iterations?|sweeps?|cycles?|max(iter|iters|iterations?|sweeps?|cycles?))$`)
+
+func runCtxFlow(pass *Pass) {
+	for i, f := range pass.Pkg.Files {
+		if pass.fileIsTest(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkCtxField(pass, n)
+			case *ast.FuncDecl:
+				checkCtxParamFirst(pass, n)
+				checkConvergenceLoops(pass, n)
+				checkFreshContexts(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxField flags struct fields of type context.Context.
+func checkCtxField(pass *Pass, st *ast.StructType) {
+	info := pass.Pkg.Info
+	for _, field := range st.Fields.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"context.Context stored in a struct field outlives its request and hides cancellation; pass ctx as a call argument")
+	}
+}
+
+// checkCtxParamFirst flags functions whose context.Context parameter
+// is not the first parameter.
+func checkCtxParamFirst(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	if fn.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fn.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if ok && isContextType(tv.Type) && pos > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter of %s", fn.Name.Name)
+			return
+		}
+		pos += n
+	}
+}
+
+// ctxParams returns the declared context.Context parameter objects of
+// the function type, plus whether the signature has a context
+// parameter at all (true even when it is unnamed/blank).
+func ctxParams(info *types.Info, ft *ast.FuncType) (objs []types.Object, has bool) {
+	if ft.Params == nil {
+		return nil, false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		has = true
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs, has
+}
+
+// checkConvergenceLoops walks fn's body tracking the innermost
+// function literal nesting and flags convergence loops that either
+// cannot see a context or never consult one.
+func checkConvergenceLoops(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	_, has := ctxParams(info, fn.Type)
+	hasCtx := []bool{has}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			_, h := ctxParams(info, n.Type)
+			hasCtx = append(hasCtx, h || hasCtx[len(hasCtx)-1])
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if m == nil {
+					return false
+				}
+				return walk(m)
+			})
+			hasCtx = hasCtx[:len(hasCtx)-1]
+			return false
+		case *ast.ForStmt:
+			if !isConvergenceLoop(n) {
+				return true
+			}
+			if !hasCtx[len(hasCtx)-1] {
+				pass.Reportf(n.Pos(),
+					"convergence loop in a function without a context.Context parameter; solver loops must be cancellable")
+				return true
+			}
+			if !mentionsContext(info, n) {
+				pass.Reportf(n.Pos(),
+					"convergence loop never consults ctx; check ctx.Err() (or select on ctx.Done()) so a stuck solve can be cancelled")
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		return walk(n)
+	})
+}
+
+// isConvergenceLoop reports whether the for-loop's header names an
+// iteration/sweep/cycle variable or bound.
+func isConvergenceLoop(n *ast.ForStmt) bool {
+	found := false
+	for _, part := range []ast.Node{n.Init, n.Cond, n.Post} {
+		if part == nil {
+			continue
+		}
+		ast.Inspect(part, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && iterNameRE.MatchString(id.Name) {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// mentionsContext reports whether the loop (header or body) references
+// any context.Context-typed identifier — consulting ctx directly or
+// passing it to a callee that does.
+func mentionsContext(info *types.Info, n *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFreshContexts flags context.Background()/context.TODO() calls
+// outside package main, except the sanctioned wrapper and nil-guard
+// shapes.
+func checkFreshContexts(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || pass.Pkg.Name == "main" {
+		return
+	}
+	info := pass.Pkg.Info
+	allowed := make(map[*ast.CallExpr]bool)
+
+	// Wrapper allowance: a ≤ 2-statement body may pass a fresh root
+	// context directly as a call argument — the ctx-free compatibility
+	// wrapper (`func F(...) { return FContext(context.Background(), ...) }`).
+	if len(fn.Body.List) <= 2 {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if root, ok := rootContextCall(info, arg); ok {
+					allowed[root] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Nil-guard allowance: `ctx = context.Background()` (plain
+	// assignment, not definition) onto an existing context variable —
+	// the `if ctx == nil` defaulting idiom.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !isContextType(obj.Type()) {
+			return true
+		}
+		if root, ok := rootContextCall(info, as.Rhs[0]); ok {
+			allowed[root] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if root, ok := rootContextCall(info, call); ok && !allowed[root] {
+			name := calleeName(info, call)
+			pass.Reportf(call.Pos(),
+				"%s() mints a fresh root context and discards the caller's deadline; accept a ctx parameter (or add //ooclint:ignore / a baseline entry for intentional process-lifetime roots)",
+				name)
+		}
+		return true
+	})
+}
+
+// rootContextCall reports whether e (after stripping parens) is a
+// direct call to context.Background or context.TODO.
+func rootContextCall(info *types.Info, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	fn := calleeObject(info, call)
+	if fn == nil {
+		return nil, false
+	}
+	full := fn.FullName()
+	if full == "context.Background" || full == "context.TODO" {
+		return call, true
+	}
+	return nil, false
+}

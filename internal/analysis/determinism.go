@@ -1,0 +1,408 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer turns the repo's bit-determinism guarantee —
+// identical designs produce byte-identical reports for any worker
+// count — into a lint rule:
+//
+//   - ranging over a map where iteration order reaches an observable
+//     result is flagged: appends to an outer slice that is never
+//     sorted, floating-point (order-sensitive) or string accumulation
+//     into an outer variable, returns that expose the range variables,
+//     and writes to output streams from inside the loop. The
+//     sanctioned idiom — append the keys, sort, then iterate the
+//     sorted slice (obs.Snapshot, ToleranceReport.YieldBudgets) —
+//     passes, because the appended slice is visibly sorted;
+//   - in solver packages, time.Now is only accepted when its value
+//     feeds time.Since (elapsed-time telemetry); any other use lets
+//     wall-clock time influence results;
+//   - in solver packages, the global math/rand functions (schedule-
+//     dependent shared stream) are flagged; derive a seeded stream
+//     via rand.New(rand.NewSource(...)) instead, as the tolerance
+//     Monte Carlo does.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-iteration order reaching outputs/accumulators/returns, and wall-clock or global math/rand use in solver packages",
+	Run:  runDeterminism,
+}
+
+// solverPackageSuffixes lists the packages whose results are covered
+// by the bit-determinism guarantee. Matched as import-path suffixes so
+// fixture trees (fixture/internal/linalg) are covered too.
+var solverPackageSuffixes = []string{
+	"internal/linalg",
+	"internal/field",
+	"internal/sim",
+	"internal/eval",
+	"internal/netlist",
+	"internal/fluid",
+	"internal/meander",
+	"internal/geometry",
+	"internal/optimize",
+}
+
+// isSolverPackage reports whether path is one of the numeric packages
+// under the bit-determinism guarantee.
+func isSolverPackage(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	for _, s := range solverPackageSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(pass *Pass) {
+	solver := isSolverPackage(pass.Pkg.Path)
+	for i, f := range pass.Pkg.Files {
+		if pass.fileIsTest(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapRanges(pass, fn)
+			if solver {
+				checkWallClock(pass, fn)
+				checkGlobalRand(pass, fn)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges flags statements inside map-range bodies where the
+// iteration order becomes observable.
+func checkMapRanges(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	sorted := collectSortedVars(info, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fn, rng, sorted)
+		return true
+	})
+}
+
+// collectSortedVars returns the objects passed (as the root of the
+// first argument) to any sort.*/slices.* call in fn — slices the
+// function visibly puts into a deterministic order.
+func collectSortedVars(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		obj := calleeObject(info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if o := rootObject(info, call.Args[0]); o != nil {
+			out[o] = true
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves the variable at the root of a selector/index
+// chain.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside the range
+// statement (an accumulator, parameter, or package variable — state
+// that survives the loop).
+func declaredOutside(rng *ast.RangeStmt, obj types.Object) bool {
+	return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+}
+
+func checkMapRangeBody(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	info := pass.Pkg.Info
+	rangeVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, info, rng, n, sorted)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if referencesAny(info, res, rangeVars) {
+					pass.Reportf(n.Pos(),
+						"return inside map range: map iteration order decides which entry is returned; collect and sort the candidates first")
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			checkMapRangeOutput(pass, info, rng, n)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-sensitive accumulation into state
+// declared outside the map range.
+func checkMapRangeAssign(pass *Pass, info *types.Info, rng *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			obj := rootObject(info, lhs)
+			if obj == nil || !declaredOutside(rng, obj) {
+				continue
+			}
+			t := typeOf(info, lhs)
+			if isFloatType(t) {
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation in map-iteration order is not bit-deterministic; iterate sorted keys instead")
+			} else if t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					pass.Reportf(as.Pos(),
+						"string built in map-iteration order; iterate sorted keys instead")
+				}
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+				continue
+			}
+			target := rootObject(info, call.Args[0])
+			if target == nil && i < len(as.Lhs) {
+				target = rootObject(info, as.Lhs[i])
+			}
+			if target == nil || !declaredOutside(rng, target) || sorted[target] {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"%s is appended in map-iteration order and never sorted; sort it before use (the append-then-sort idiom)", target.Name())
+		}
+	}
+}
+
+// checkMapRangeOutput flags writes to output streams from inside a
+// map range: fmt printing and Write*/WriteString calls on writers
+// declared outside the loop.
+func checkMapRangeOutput(pass *Pass, info *types.Info, rng *ast.RangeStmt, call *ast.CallExpr) {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return
+	}
+	full := obj.FullName()
+	if strings.HasPrefix(full, "fmt.Print") || strings.HasPrefix(full, "fmt.Fprint") {
+		// fmt.Sprint* builds a value, it does not emit; Print*/Fprint*
+		// write to a stream in iteration order.
+		pass.Reportf(call.Pos(),
+			"%s inside map range writes output in map-iteration order; iterate sorted keys instead", full)
+		return
+	}
+	name := obj.Name()
+	if name != "Write" && name != "WriteString" && name != "WriteRune" && name != "WriteByte" {
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := rootObject(info, sel.X)
+	if recv == nil || !declaredOutside(rng, recv) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s inside map range writes output in map-iteration order; iterate sorted keys instead", recv.Name(), name)
+}
+
+// checkWallClock flags time.Now whose value escapes elapsed-time
+// telemetry in a solver package.
+func checkWallClock(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	parents := buildParents(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(info, call)
+		if obj == nil || obj.FullName() != "time.Now" {
+			return true
+		}
+		if wallClockOK(info, fn, parents, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"time.Now in a solver package lets wall-clock time influence results; only elapsed-time telemetry (time.Since) is deterministic-safe")
+		return true
+	})
+}
+
+// wallClockOK accepts the telemetry idiom: time.Now() used directly as
+// the argument of time.Since, or assigned to a variable whose every
+// use is a time.Since argument.
+func wallClockOK(info *types.Info, fn *ast.FuncDecl, parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	parent := parentExpr(parents, call)
+	if isTimeSinceArg(info, parents, call) {
+		return true
+	}
+	as, ok := parent.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	ok = true
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		use, isID := n.(*ast.Ident)
+		if !isID || info.Uses[use] != obj {
+			return ok
+		}
+		if !isTimeSinceArg(info, parents, use) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// parentExpr walks up through parens to the first non-paren parent.
+func parentExpr(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, isParen := p.(*ast.ParenExpr); !isParen {
+			return p
+		}
+		p = parents[p]
+	}
+}
+
+// isTimeSinceArg reports whether n sits (possibly under parens) as an
+// argument of a time.Since call.
+func isTimeSinceArg(info *types.Info, parents map[ast.Node]ast.Node, n ast.Node) bool {
+	p := parentExpr(parents, n)
+	call, ok := p.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObject(info, call)
+	return obj != nil && obj.FullName() == "time.Since"
+}
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// checkGlobalRand flags the package-scope math/rand functions, whose
+// shared stream makes results depend on goroutine schedule.
+func checkGlobalRand(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "math/rand" {
+			return true
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return true
+		}
+		switch obj.Name() {
+		case "New", "NewSource", "NewZipf":
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"global math/rand.%s draws from the schedule-dependent shared stream; derive a seeded stream with rand.New(rand.NewSource(...))", obj.Name())
+		return true
+	})
+}
+
+// referencesAny reports whether expr references any of the given
+// objects.
+func referencesAny(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

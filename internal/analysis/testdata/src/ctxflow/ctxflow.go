@@ -1,0 +1,75 @@
+// Package ctxflow exercises the ctxflow analyzer: solver loops and
+// context plumbing done wrong, next to the sanctioned shapes.
+package ctxflow
+
+import "context"
+
+// Holder stores a context in a struct — flagged: it outlives the
+// request and hides cancellation.
+type Holder struct {
+	ctx context.Context
+	n   int
+}
+
+// Relax runs a convergence loop with no context anywhere — flagged.
+func Relax(u []float64) {
+	for it := 0; it < 100; it++ {
+		for i := 1; i < len(u)-1; i++ {
+			u[i] = (u[i-1] + u[i+1]) / 2
+		}
+	}
+}
+
+// Smooth takes a context but its sweep loop never consults it —
+// flagged.
+func Smooth(ctx context.Context, u []float64) error {
+	for sweep := 0; sweep < 50; sweep++ {
+		for i := 1; i < len(u)-1; i++ {
+			u[i] = (u[i-1] + u[i+1]) / 2
+		}
+	}
+	return ctx.Err()
+}
+
+// Late accepts its context after the data — flagged.
+func Late(u []float64, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Fresh mints a root context mid-function — flagged: three
+// statements, so it is not a compatibility wrapper, and the fresh
+// context discards any deadline the caller had.
+func Fresh(u []float64) error {
+	ctx := context.Background()
+	if len(u) == 0 {
+		return nil
+	}
+	return SolveOK(ctx, u)
+}
+
+// SolveOK is the sanctioned solver shape: ctx first, consulted every
+// iteration — clean.
+func SolveOK(ctx context.Context, u []float64) error {
+	for it := 0; it < 100; it++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := 1; i < len(u)-1; i++ {
+			u[i] = (u[i-1] + u[i+1]) / 2
+		}
+	}
+	return nil
+}
+
+// Solve is the ctx-free compatibility wrapper — allowed.
+func Solve(u []float64) error {
+	return SolveOK(context.Background(), u)
+}
+
+// Guarded defaults a nil context in place — allowed.
+func Guarded(ctx context.Context, u []float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return SolveOK(ctx, u)
+}

@@ -1,0 +1,59 @@
+// Package determin exercises the determinism analyzer's map-range
+// rules, next to the sanctioned append-then-sort idiom.
+package determin
+
+import (
+	"sort"
+	"strings"
+)
+
+// SumWeights accumulates floats in map-iteration order — flagged:
+// float addition is order-sensitive, so the total is not
+// bit-deterministic.
+func SumWeights(w map[string]float64) float64 {
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	return total
+}
+
+// Render builds output in map-iteration order — flagged.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// FirstBad returns whichever offending entry the runtime hands us
+// first — flagged.
+func FirstBad(balance map[int]float64) (int, bool) {
+	for c, v := range balance {
+		if v > 1 {
+			return c, true
+		}
+	}
+	return -1, false
+}
+
+// Keys is the sanctioned idiom: append, sort, then use — clean.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collect appends values in map-iteration order and never sorts —
+// flagged.
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

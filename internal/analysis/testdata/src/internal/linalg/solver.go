@@ -1,0 +1,37 @@
+// Package linalg sits at a solver-package path, so the determinism
+// analyzer's wall-clock and global-RNG rules apply here.
+package linalg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter perturbs with the global math/rand stream — flagged: the
+// shared stream makes results depend on goroutine schedule.
+func Jitter(x float64) float64 {
+	return x + rand.Float64()
+}
+
+// Stamp folds wall-clock time into a result — flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Timed is the telemetry idiom: time.Now feeding only time.Since —
+// clean.
+func Timed(n int) time.Duration {
+	start := time.Now()
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	_ = s
+	return time.Since(start)
+}
+
+// Seeded derives a private, reproducible stream — clean.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,41 @@
+// Package zerosent exercises the zerosentinel analyzer: config
+// structs whose zero values are meaningful must be built from their
+// Default constructor, not conjured empty or probed with == 0.
+package zerosent
+
+// SolveOptions configures a solve; a zero Tol legitimately means
+// "exact", so the zero value is meaningful, not a default.
+type SolveOptions struct {
+	Tol     float64
+	MaxIter int
+}
+
+// DefaultSolveOptions is the blessed starting point.
+func DefaultSolveOptions() SolveOptions {
+	return SolveOptions{Tol: 1e-9, MaxIter: 500}
+}
+
+// Quick conjures options from nothing — flagged: the empty literal
+// silently picks meaningful zero values.
+func Quick(n int) int {
+	return run(SolveOptions{}, n)
+}
+
+// run probes Tol with the zero sentinel — flagged: a deliberate
+// Tol=0 request is indistinguishable from "unset".
+func run(opt SolveOptions, n int) int {
+	if opt.Tol == 0 {
+		return n
+	}
+	if opt.MaxIter < 1 {
+		return 0
+	}
+	return n / 2
+}
+
+// Explicit starts from the defaults — clean.
+func Explicit(n int) int {
+	opt := DefaultSolveOptions()
+	opt.MaxIter = n
+	return run(opt, n)
+}

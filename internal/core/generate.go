@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,6 +37,13 @@ const (
 // initialization, then pressure correction, meander insertion and
 // offset correction iterated to a fixpoint.
 func Generate(spec Spec) (*Design, error) {
+	return GenerateContext(context.Background(), spec)
+}
+
+// GenerateContext is Generate with cooperative cancellation: the
+// correction loop checks ctx between iterations, so a caller's
+// deadline budget also covers design generation, not just validation.
+func GenerateContext(ctx context.Context, spec Spec) (*Design, error) {
 	res, err := Derive(spec)
 	if err != nil {
 		return nil, err
@@ -44,7 +52,7 @@ func Generate(spec Spec) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	return realize(res, plan)
+	return realize(ctx, res, plan)
 }
 
 // layoutState carries the evolving geometry through the correction
@@ -71,7 +79,7 @@ type requiredPressures struct {
 	supLen, disLen []float64
 }
 
-func realize(res *Resolved, plan *FlowPlan) (*Design, error) {
+func realize(ctx context.Context, res *Resolved, plan *FlowPlan) (*Design, error) {
 	n := len(res.Modules)
 	geo := res.Geometry
 	spacing := float64(geo.Spacing)
@@ -110,6 +118,9 @@ func realize(res *Resolved, plan *FlowPlan) (*Design, error) {
 	var converged bool
 	iter := 0
 	for ; iter < maxGenerateIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: generating %q: %w", res.Spec.Name, err)
+		}
 		st.place()
 		req, err := pressureCorrect(res, plan, st)
 		if err != nil {

@@ -37,7 +37,7 @@ import (
 func Grid(ctx context.Context, instances []usecases.Instance, workers int, opt sim.Options) ([]*sim.Report, error) {
 	return parallel.MapContext(ctx, len(instances), workers, func(i int) (*sim.Report, error) {
 		in := instances[i]
-		d, err := core.Generate(in.Spec)
+		d, err := core.GenerateContext(ctx, in.Spec)
 		if err != nil {
 			return nil, fmt.Errorf("%s: generate: %w", in.Label(), err)
 		}

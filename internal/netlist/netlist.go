@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"ooc/internal/linalg"
 	"ooc/internal/units"
@@ -162,10 +163,16 @@ func (n *Network) Solve() (*Solution, error) {
 	if scale == 0 {
 		scale = 1
 	}
+	var unbalanced []int
 	for c, b := range balance {
 		if math.Abs(b) > 1e-9*scale {
-			return nil, fmt.Errorf("%w: component %d accumulates %g m³/s", ErrUnbalanced, c, b)
+			unbalanced = append(unbalanced, c)
 		}
+	}
+	sort.Ints(unbalanced)
+	if len(unbalanced) > 0 {
+		c := unbalanced[0]
+		return nil, fmt.Errorf("%w: component %d accumulates %g m³/s", ErrUnbalanced, c, balance[c])
 	}
 
 	// Assemble the conductance matrix G·P = I.

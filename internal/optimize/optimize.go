@@ -160,7 +160,7 @@ func Search(ctx context.Context, spec core.Spec, opt Options) (*Result, error) {
 			s := spec
 			s.Geometry.ChannelHeight = h
 			s.Geometry.MinGap = g
-			d, err := core.Generate(s)
+			d, err := core.GenerateContext(ctx, s)
 			if err != nil {
 				cand.Reason = fmt.Sprintf("generation failed: %v", err)
 				res.Candidates = append(res.Candidates, cand)

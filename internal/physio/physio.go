@@ -109,7 +109,13 @@ func (r *Reference) Validate() error {
 	if r.CardiacOutput <= 0 {
 		return fmt.Errorf("physio: reference %q: non-positive cardiac output", r.Name)
 	}
-	for id, o := range r.organs {
+	ids := make([]OrganID, 0, len(r.organs))
+	for id := range r.organs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := r.organs[id]
 		if o.Mass <= 0 || o.Mass >= r.BodyMass {
 			return fmt.Errorf("physio: reference %q: organ %q mass %v out of range", r.Name, id, o.Mass)
 		}

@@ -120,9 +120,9 @@ type Server struct {
 	start time.Time
 
 	// The pipeline entry points, swappable in tests to inject slow or
-	// counting stubs; production always uses core.Generate and
+	// counting stubs; production always uses core.GenerateContext and
 	// sim.ValidateContext.
-	generate func(core.Spec) (*core.Design, error)
+	generate func(context.Context, core.Spec) (*core.Design, error)
 	validate func(context.Context, *core.Design, sim.Options) (*sim.Report, error)
 }
 
@@ -136,7 +136,7 @@ func New(cfg Config) *Server {
 		cache:    newRespCache(cfg.CacheSize),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
-		generate: core.Generate,
+		generate: core.GenerateContext,
 		validate: sim.ValidateContext,
 	}
 	s.mux.HandleFunc("/v1/design", s.handleDesign)
@@ -283,7 +283,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 			// The budget burned down while waiting in the queue.
 			return response{}, false, err
 		}
-		d, err := s.generate(spec)
+		d, err := s.generate(ctx, spec)
 		if err != nil {
 			// A spec the pipeline rejects is a client-side problem;
 			// don't cache it — the discipline is errors are never
@@ -425,7 +425,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		if err := ctx.Err(); err != nil {
 			return response{}, false, err
 		}
-		d, err := s.generate(spec)
+		d, err := s.generate(ctx, spec)
 		if err != nil {
 			return jsonError(http.StatusUnprocessableEntity, "generate: %v", err), false, nil
 		}

@@ -292,7 +292,7 @@ func TestSingleflight(t *testing.T) {
 	var solves atomic.Int64
 	gate := make(chan struct{})
 	s := New(Config{MaxConcurrent: n, QueueDepth: n})
-	s.generate = func(spec core.Spec) (*core.Design, error) {
+	s.generate = func(_ context.Context, spec core.Spec) (*core.Design, error) {
 		solves.Add(1)
 		<-gate
 		return core.Generate(spec)
@@ -349,7 +349,7 @@ func TestSingleflight(t *testing.T) {
 func TestQueueOverflow429(t *testing.T) {
 	gate := make(chan struct{})
 	s := New(Config{MaxConcurrent: 1, QueueDepth: 1})
-	s.generate = func(spec core.Spec) (*core.Design, error) {
+	s.generate = func(_ context.Context, spec core.Spec) (*core.Design, error) {
 		<-gate
 		return core.Generate(spec)
 	}
@@ -406,7 +406,7 @@ func TestDeadline504(t *testing.T) {
 	// 50ms budget burns down while waiting.
 	gate := make(chan struct{})
 	s := New(Config{MaxConcurrent: 1, QueueDepth: 2})
-	s.generate = func(spec core.Spec) (*core.Design, error) {
+	s.generate = func(_ context.Context, spec core.Spec) (*core.Design, error) {
 		<-gate
 		return core.Generate(spec)
 	}
@@ -467,7 +467,7 @@ func TestDeadline504(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	gate := make(chan struct{})
 	s := New(Config{MaxConcurrent: 2, DrainTimeout: 5 * time.Second})
-	s.generate = func(spec core.Spec) (*core.Design, error) {
+	s.generate = func(_ context.Context, spec core.Spec) (*core.Design, error) {
 		<-gate
 		return core.Generate(spec)
 	}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"ooc/internal/core"
 )
@@ -324,7 +325,16 @@ func compile(d *core.Design, cfg Config, cellsPerChannel int) (*system, error) {
 		get(c.From).out = append(get(c.From).out, i)
 	}
 
-	for name, nf := range nodes {
+	// Emit links in sorted node order: sys.links ordering feeds the
+	// per-step flux accumulation, so a raw map range would make
+	// simulated concentrations schedule-dependent.
+	names := make([]string, 0, len(nodes))
+	for name := range nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nf := nodes[name]
 		var totalOut float64
 		for _, oi := range nf.out {
 			totalOut += float64(d.Channels[oi].DesignFlow)
