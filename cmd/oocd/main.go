@@ -6,6 +6,11 @@
 //	POST /v1/design             specification in, generated design out
 //	POST /v1/validate?model=m&scheme=s
 //	                            specification in, validation report out
+//	POST   /v1/jobs             submit an asynchronous design-space
+//	                            search job (grid or successive halving)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        poll job progress / final result
+//	DELETE /v1/jobs/{id}        cancel a job cooperatively
 //	GET  /healthz               liveness
 //	GET  /metrics               text metrics exposition
 //
@@ -18,10 +23,16 @@
 // answers 429). Identical requests are deduplicated and cached
 // (-cache entries, keyed on the canonical spec bytes).
 //
+// Search jobs run detached from the submitting request, bounded by
+// their own admission (-jobs-running concurrent searches, -jobs-queue
+// waiters, overload answers 429) and per-job deadline budget
+// (-job-timeout default, capped at -job-max-timeout).
+//
 // SIGINT/SIGTERM starts a graceful drain: the listener closes,
-// in-flight requests get -drain to finish, stragglers are cancelled
-// through the context plumbing. The final metrics exposition is
-// printed to stderr on exit with -stats.
+// running search jobs are cancelled (their partial results stay
+// pollable through the drain), in-flight requests get -drain to
+// finish, stragglers are cancelled through the context plumbing. The
+// final metrics exposition is printed to stderr on exit with -stats.
 //
 // Usage:
 //
@@ -45,15 +56,20 @@ import (
 
 func main() {
 	cfg := struct {
-		addr       string
-		concurrent int
-		queue      int
-		cache      int
-		timeout    time.Duration
-		maxTimeout time.Duration
-		drain      time.Duration
-		scheme     string
-		stats      bool
+		addr          string
+		concurrent    int
+		queue         int
+		cache         int
+		timeout       time.Duration
+		maxTimeout    time.Duration
+		drain         time.Duration
+		scheme        string
+		stats         bool
+		jobsRunning   int
+		jobsQueue     int
+		jobsHistory   int
+		jobTimeout    time.Duration
+		jobMaxTimeout time.Duration
 	}{}
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
 	flag.IntVar(&cfg.concurrent, "concurrent", 0, "max concurrent solves (0 = worker-pool width)")
@@ -64,6 +80,11 @@ func main() {
 	flag.DurationVar(&cfg.drain, "drain", 0, "graceful-drain budget on shutdown (0 = 5s)")
 	flag.StringVar(&cfg.scheme, "scheme", "auto", "default Poisson backend for ?scheme=-less validation requests: auto, sor or mg")
 	flag.BoolVar(&cfg.stats, "stats", false, "print the final metrics exposition to stderr on exit")
+	flag.IntVar(&cfg.jobsRunning, "jobs-running", 0, "max concurrently running search jobs (0 = 1)")
+	flag.IntVar(&cfg.jobsQueue, "jobs-queue", 0, "max queued search jobs before 429 (0 = 8)")
+	flag.IntVar(&cfg.jobsHistory, "jobs-history", 0, "finished search jobs retained for polling (0 = 64)")
+	flag.DurationVar(&cfg.jobTimeout, "job-timeout", 0, "default per-job deadline budget (0 = 5m)")
+	flag.DurationVar(&cfg.jobMaxTimeout, "job-max-timeout", 0, "cap on client-requested job timeouts (0 = 30m)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: oocd [flags]")
@@ -87,6 +108,12 @@ func main() {
 		MaxTimeout:     cfg.maxTimeout,
 		DrainTimeout:   cfg.drain,
 		DefaultScheme:  scheme,
+
+		JobsMaxRunning:    cfg.jobsRunning,
+		JobsQueueDepth:    cfg.jobsQueue,
+		JobsHistory:       cfg.jobsHistory,
+		JobDefaultTimeout: cfg.jobTimeout,
+		JobMaxTimeout:     cfg.jobMaxTimeout,
 	}, cfg.stats); err != nil {
 		fmt.Fprintln(os.Stderr, "oocd:", err)
 		os.Exit(1)

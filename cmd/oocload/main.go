@@ -11,9 +11,11 @@
 //	oocload -url http://localhost:8080 -n 200 -c 8
 //	oocload -url http://localhost:8080 -endpoint validate -model numeric
 //	oocload -url http://localhost:8080 -smoke   # health+design+metrics probe
+//	oocload -url http://localhost:8080 -jobs    # async /v1/jobs search probe
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +41,7 @@ type config struct {
 	workers  int
 	distinct bool
 	smoke    bool
+	jobs     bool
 }
 
 func main() {
@@ -51,6 +54,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "c", 8, "concurrent workers")
 	flag.BoolVar(&cfg.distinct, "distinct", false, "rotate through all built-in use cases (defeats the response cache)")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "probe /healthz, one /v1/design and /metrics, then exit")
+	flag.BoolVar(&cfg.jobs, "jobs", false, "submit a successive-halving search job, poll it to completion, assert a feasible best, then exit")
 	flag.Parse()
 
 	path, err := cfg.requestPath()
@@ -59,9 +63,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: oocload [-endpoint {design, validate}] [-model {%s}] [flags]\n", sim.ModelNames)
 		os.Exit(2)
 	}
-	if cfg.smoke {
+	switch {
+	case cfg.smoke:
 		err = smoke(cfg.url)
-	} else {
+	case cfg.jobs:
+		err = jobsProbe(cfg.url, cfg.spec)
+	default:
 		err = run(cfg, path)
 	}
 	if err != nil {
@@ -256,5 +263,105 @@ func smoke(base string) error {
 		return fmt.Errorf("metrics: exposition lacks %q:\n%s", want, raw)
 	}
 	fmt.Println("oocload: smoke ok")
+	return nil
+}
+
+// jobsProbe exercises the asynchronous search path end to end: it
+// submits a successive-halving job over the default candidate grid,
+// polls /v1/jobs/{id} until the job is terminal, and checks the final
+// status reports a feasible best with fewer full-fidelity evaluations
+// than the 20-candidate exhaustive grid would pay.
+func jobsProbe(base, spec string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	uc, err := usecases.ByName(spec)
+	if err != nil {
+		return err
+	}
+	specRaw, err := specio.Marshal(uc.Build())
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(map[string]any{
+		"spec":     json.RawMessage(specRaw),
+		"strategy": "halving",
+		"timeout":  "2m",
+	})
+	if err != nil {
+		return err
+	}
+
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d body %s", resp.StatusCode, raw)
+	}
+	var status struct {
+		ID              string `json:"id"`
+		State           string `json:"state"`
+		Evaluated       int    `json:"evaluated"`
+		FullEvaluations int    `json:"full_evaluations"`
+		Feasible        int    `json:"feasible"`
+		Error           string `json:"error"`
+		BestGeometry    *struct {
+			ChannelHeightUm float64 `json:"channel_height_um"`
+			MinGapMm        float64 `json:"min_gap_mm"`
+		} `json:"best_geometry"`
+	}
+	if err := json.Unmarshal(raw, &status); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if status.ID == "" {
+		return fmt.Errorf("submit: no job id in %s", raw)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after 2m", status.ID, status.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := client.Get(base + "/v1/jobs/" + status.ID)
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("poll: status %d body %s", resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &status); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		if status.State == "succeeded" || status.State == "failed" || status.State == "canceled" {
+			break
+		}
+	}
+	if status.State != "succeeded" {
+		return fmt.Errorf("job %s ended %s: %s", status.ID, status.State, status.Error)
+	}
+	if status.Feasible == 0 || status.BestGeometry == nil {
+		return fmt.Errorf("job %s succeeded without a feasible best (feasible=%d)", status.ID, status.Feasible)
+	}
+	if status.FullEvaluations >= status.Evaluated {
+		return fmt.Errorf("job %s: %d full evaluations of %d total — halving saved nothing",
+			status.ID, status.FullEvaluations, status.Evaluated)
+	}
+	fmt.Printf("oocload: job %s succeeded: best h=%.0fµm gap=%.1fmm, %d full of %d evaluations\n",
+		status.ID, status.BestGeometry.ChannelHeightUm, status.BestGeometry.MinGapMm,
+		status.FullEvaluations, status.Evaluated)
 	return nil
 }

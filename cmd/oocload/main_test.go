@@ -1,10 +1,12 @@
 package main
 
 import (
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"ooc/internal/server"
 	"ooc/internal/sim"
 )
 
@@ -102,5 +104,20 @@ func TestBodies(t *testing.T) {
 	}
 	if _, err := bodies(config{spec: "nonexistent"}); err == nil {
 		t.Fatal("unknown spec name silently accepted")
+	}
+}
+
+// TestJobsProbe: the -jobs mode drives the asynchronous search path
+// end to end against an in-process daemon — submit, poll to a
+// terminal state, assert a feasible best that cost fewer full-cost
+// evaluations than the exhaustive grid.
+func TestJobsProbe(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	if err := jobsProbe(ts.URL, "male_simple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobsProbe(ts.URL, "not_a_usecase"); err == nil {
+		t.Fatal("unknown use case: expected an error")
 	}
 }

@@ -1,0 +1,513 @@
+// Package jobs is the asynchronous design-space-exploration layer of
+// the serving stack: a bounded job manager that runs optimize
+// searches (grid or successive halving) detached from the HTTP
+// request that submitted them. The server's /v1/jobs endpoints are a
+// thin shell over this package.
+//
+// The manager mirrors the design endpoint's admission discipline one
+// level up: a fixed number of jobs run concurrently (each search
+// already fans out over the shared internal/parallel pool, so more
+// running jobs would just contend for the same cores), a bounded
+// FIFO queue holds pending jobs, and a submission that finds the
+// queue full fails fast with ErrBusy — the handler layer maps it to
+// 429 exactly like the per-request semaphore.
+//
+// Lifecycle: pending → running → succeeded | failed | canceled.
+// Cancellation is cooperative through the job's context: a pending
+// job is simply dequeued; a running job has its context cancelled and
+// keeps the partial result the search had accumulated (the optimize
+// contract). Shutdown cancels everything but keeps every record
+// pollable, so in-flight progress stays visible through a graceful
+// drain.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ooc/internal/core"
+	"ooc/internal/obs"
+	"ooc/internal/optimize"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// StatePending: admitted, waiting for a run slot.
+	StatePending State = "pending"
+	// StateRunning: the search is executing.
+	StateRunning State = "running"
+	// StateSucceeded: the search finished with a feasible best.
+	StateSucceeded State = "succeeded"
+	// StateFailed: the search finished without a usable result
+	// (infeasible, invalid options, or an internal error).
+	StateFailed State = "failed"
+	// StateCanceled: the job was cancelled (by the client or by
+	// shutdown) before or during its run.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// ErrBusy is returned by Submit when the job queue is full; the HTTP
+// layer maps it to 429.
+var ErrBusy = errors.New("jobs: queue full")
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrShutdown is returned by Submit after Shutdown.
+var ErrShutdown = errors.New("jobs: manager is shut down")
+
+// Config sizes the manager. Zero values select the documented
+// defaults.
+type Config struct {
+	// MaxRunning is the number of jobs allowed to run concurrently.
+	// Default: 1 — a single search already saturates the shared
+	// worker pool; raise it only when jobs are known to be small.
+	MaxRunning int
+	// QueueDepth is how many admitted jobs may wait for a run slot
+	// before Submit answers ErrBusy. Default: 8.
+	QueueDepth int
+	// History bounds the terminal jobs retained for polling; the
+	// oldest finished job is evicted first. Default: 64.
+	History int
+	// DefaultTimeout is the per-job deadline budget when the request
+	// does not ask for one. Default: 5m.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested per-job budget.
+	// Default: 30m.
+	MaxTimeout time.Duration
+	// Collector receives job counters and latency observations.
+	// Default: the process-wide obs collector.
+	Collector *obs.Collector
+	// Search is the search implementation; nil selects
+	// optimize.Search. It exists as a seam for tests that need
+	// controllable job bodies.
+	Search func(ctx context.Context, spec core.Spec, opt optimize.Options) (*optimize.Result, error)
+}
+
+// withDefaults materializes the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.History <= 0 {
+		c.History = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.Collector == nil {
+		c.Collector = obs.Default()
+	}
+	if c.Search == nil {
+		c.Search = optimize.Search
+	}
+	return c
+}
+
+// Request describes one search job.
+type Request struct {
+	// Spec is the base specification; the search overrides its free
+	// geometry per candidate.
+	Spec core.Spec
+	// Options configure the search (strategy, objective, axes,
+	// fidelity, workers). The manager installs its own Progress
+	// callback; a caller-supplied one is replaced.
+	Options optimize.Options
+	// Timeout is the per-job deadline budget; zero selects the
+	// manager default and values over the cap are clamped to it.
+	Timeout time.Duration
+}
+
+// Status is a point-in-time snapshot of one job, safe to retain.
+type Status struct {
+	ID    string
+	State State
+	// Strategy and Objective echo the request for display.
+	Strategy  optimize.Strategy
+	Objective optimize.Objective
+	// Evaluated/Total/Rung mirror the search's progress events;
+	// Total is the planned evaluation count (an upper bound under
+	// halving).
+	Evaluated, Total, Rung int
+	// Best is the best feasible candidate seen so far (live during
+	// the run, final afterwards); nil when none yet.
+	Best *optimize.Candidate
+	// Candidates logs completed evaluations. While running it
+	// accumulates in completion order; once the job is terminal it is
+	// the search's canonical index-ordered log, so terminal statuses
+	// are deterministic for any worker count.
+	Candidates []optimize.Candidate
+	// Rungs is the halving schedule of a terminal job (nil for grid).
+	Rungs []optimize.RungStats
+	// Feasible and FullEvaluations are filled when terminal.
+	Feasible, FullEvaluations int
+	// BestSpec is the winning specification of a succeeded job.
+	BestSpec core.Spec
+	// BestReport holds headline numbers of the winner's validation.
+	BestMaxFlowDeviation float64
+	BestPumpPressurePa   float64
+	// Error describes why a failed or canceled job ended.
+	Error string
+}
+
+// job is the manager's internal record.
+type job struct {
+	id  string
+	req Request
+	// Everything below is guarded by the manager mutex.
+	state     State
+	cancel    context.CancelFunc // non-nil while running
+	cancelReq bool               // cancel requested before the runner installed cancel
+	evaluated int
+	total     int
+	rung      int
+	best      *optimize.Candidate
+	live      []optimize.Candidate // completion-order log while running
+	result    *optimize.Result     // terminal searches, even partial ones
+	errMsg    string
+	done      chan struct{}
+}
+
+// Manager owns the job table, the run slots and the pending queue.
+type Manager struct {
+	cfg Config
+	col *obs.Collector
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for List and eviction
+	queue    []*job   // pending, FIFO
+	running  int
+	seq      int
+	shutdown bool
+}
+
+// NewManager builds a manager from the config.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:  cfg,
+		col:  cfg.Collector,
+		jobs: make(map[string]*job),
+	}
+}
+
+// Submit admits a job: it starts immediately when a run slot is free,
+// waits in the bounded queue otherwise, and fails fast with ErrBusy
+// when the queue is full. The returned status is the post-admission
+// snapshot.
+func (m *Manager) Submit(req Request) (Status, error) {
+	req.Timeout = m.EffectiveTimeout(req.Timeout)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.shutdown {
+		return Status{}, ErrShutdown
+	}
+	if m.running >= m.cfg.MaxRunning && len(m.queue) >= m.cfg.QueueDepth {
+		m.col.Add("jobs.rejected", 1)
+		return Status{}, ErrBusy
+	}
+	m.seq++
+	j := &job{
+		id:    fmt.Sprintf("job-%06d", m.seq),
+		req:   req,
+		state: StatePending,
+		done:  make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.col.Add("jobs.submitted", 1)
+	if m.running < m.cfg.MaxRunning {
+		m.startLocked(j)
+	} else {
+		m.queue = append(m.queue, j)
+	}
+	m.evictLocked()
+	return m.statusLocked(j), nil
+}
+
+// EffectiveTimeout returns the deadline budget Submit would run d
+// under: the manager default for zero, the cap for anything above it.
+// The HTTP layer uses it to echo the real budget back to the client.
+func (m *Manager) EffectiveTimeout(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = m.cfg.DefaultTimeout
+	}
+	if d > m.cfg.MaxTimeout {
+		d = m.cfg.MaxTimeout
+	}
+	return d
+}
+
+// Get returns the current snapshot of the job.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return m.statusLocked(j), nil
+}
+
+// List returns a snapshot of every retained job in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Cancel requests cancellation: a pending job is dequeued and
+// finalized immediately, a running job has its context cancelled (the
+// runner finalizes it with the partial result), and a terminal job is
+// left untouched — Cancel is idempotent and always returns the
+// current snapshot.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	m.cancelLocked(j, "canceled by client")
+	return m.statusLocked(j), nil
+}
+
+// Shutdown cancels every pending and running job (graceful-drain
+// integration: SIGTERM lands here before the HTTP drain) and rejects
+// further submissions. Job records stay pollable until the process
+// exits.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shutdown = true
+	for _, id := range m.order {
+		m.cancelLocked(m.jobs[id], "canceled by shutdown")
+	}
+}
+
+// Drain blocks until no job is running or ctx is done — the drain
+// path's way to bound how long it waits for cancelled searches to
+// unwind.
+func (m *Manager) Drain(ctx context.Context) error {
+	for {
+		m.mu.Lock()
+		idle := m.running == 0
+		m.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done —
+// a convenience for tests and synchronous callers.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	select {
+	case <-j.done:
+		return m.Get(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// cancelLocked implements Cancel for one job. Callers hold m.mu.
+func (m *Manager) cancelLocked(j *job, why string) {
+	switch j.state {
+	case StatePending:
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCanceled
+		j.errMsg = why
+		m.col.Add("jobs.completed.canceled", 1)
+		close(j.done)
+	case StateRunning:
+		j.cancelReq = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// startLocked moves j into the running state and launches its
+// goroutine. Callers hold m.mu.
+func (m *Manager) startLocked(j *job) {
+	j.state = StateRunning
+	m.running++
+	go m.run(j)
+}
+
+// run is the goroutine body. Jobs outlive the request that submitted
+// them by design, so the search runs under a fresh root bounded by
+// the job's own deadline; Shutdown and Cancel reach it through the
+// stored cancel func.
+func (m *Manager) run(j *job) { m.runContext(context.Background(), j) }
+
+func (m *Manager) runContext(ctx context.Context, j *job) {
+	ctx, cancel := context.WithTimeout(ctx, j.req.Timeout)
+	defer cancel()
+	ctx = obs.WithCollector(ctx, m.col)
+
+	m.mu.Lock()
+	j.cancel = cancel
+	canceled := j.cancelReq
+	m.mu.Unlock()
+	if canceled {
+		cancel()
+	}
+
+	opt := j.req.Options
+	opt.Progress = func(p optimize.Progress) {
+		m.mu.Lock()
+		j.evaluated, j.total, j.rung = p.Evaluated, p.Total, p.Rung
+		if p.Best != nil {
+			j.best = p.Best
+		}
+		if p.Completed != nil {
+			j.live = append(j.live, *p.Completed)
+		}
+		m.mu.Unlock()
+	}
+
+	started := time.Now()
+	res, err := m.cfg.Search(ctx, j.req.Spec, opt)
+	m.col.Observe("job.wall", time.Since(started))
+
+	m.mu.Lock()
+	j.result = res
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateSucceeded
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+		if j.cancelReq {
+			j.errMsg = "canceled: " + err.Error()
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = "deadline budget exhausted: " + err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	if res != nil && res.BestCandidate != nil {
+		j.best = res.BestCandidate
+	}
+	m.col.Add("jobs.completed."+string(j.state), 1)
+	m.running--
+	close(j.done)
+	var next *job
+	if !m.shutdown && len(m.queue) > 0 && m.running < m.cfg.MaxRunning {
+		next = m.queue[0]
+		m.queue = m.queue[1:]
+	}
+	if next != nil {
+		m.startLocked(next)
+	}
+	m.evictLocked()
+	m.mu.Unlock()
+}
+
+// evictLocked drops the oldest terminal jobs until at most
+// cfg.History terminal records remain. Pending and running jobs are
+// never evicted. Callers hold m.mu.
+func (m *Manager) evictLocked() {
+	terminal := 0
+	for _, id := range m.order {
+		if m.jobs[id].state.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.cfg.History {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if terminal > m.cfg.History && m.jobs[id].state.Terminal() {
+			delete(m.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// statusLocked snapshots j. Callers hold m.mu.
+func (m *Manager) statusLocked(j *job) Status {
+	s := Status{
+		ID:        j.id,
+		State:     j.state,
+		Strategy:  j.req.Options.Strategy,
+		Objective: j.req.Options.Objective,
+		Evaluated: j.evaluated,
+		Total:     j.total,
+		Rung:      j.rung,
+		Error:     j.errMsg,
+	}
+	if j.best != nil {
+		b := *j.best
+		s.Best = &b
+	}
+	if j.result != nil {
+		// Terminal: replace the completion-order live log with the
+		// search's canonical index-ordered log.
+		s.Candidates = append([]optimize.Candidate(nil), j.result.Candidates...)
+		s.Rungs = append([]optimize.RungStats(nil), j.result.Rungs...)
+		s.Evaluated = j.result.Evaluated
+		s.Feasible = j.result.Feasible
+		s.FullEvaluations = j.result.FullEvaluations
+		if j.result.Best != nil {
+			s.BestSpec = j.result.BestSpec
+			s.BestMaxFlowDeviation = j.result.BestReport.MaxFlowDeviation
+			s.BestPumpPressurePa = j.result.BestReport.PumpPressure.Pascals()
+		}
+	} else {
+		s.Candidates = append([]optimize.Candidate(nil), j.live...)
+	}
+	return s
+}
+
+// Gauges reports the live occupancy: running jobs and queued jobs.
+func (m *Manager) Gauges() (running, queued int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(m.running), int64(len(m.queue))
+}

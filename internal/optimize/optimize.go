@@ -52,6 +52,25 @@ func (o Objective) String() string {
 	}
 }
 
+// ObjectiveNames lists the valid ParseObjective spellings for usage
+// messages.
+const ObjectiveNames = "area, pressure, flow"
+
+// ParseObjective resolves an objective name. Unknown spellings return
+// an error listing the valid names, mirroring sim.ParseModel.
+func ParseObjective(name string) (Objective, error) {
+	switch name {
+	case "", "area":
+		return MinimizeArea, nil
+	case "pressure":
+		return MinimizePumpPressure, nil
+	case "flow":
+		return MinimizeTotalFlow, nil
+	default:
+		return 0, fmt.Errorf("optimize: unknown objective %q (valid objectives: %s)", name, ObjectiveNames)
+	}
+}
+
 // Constraints bound the feasible region.
 type Constraints struct {
 	// MaxFlowDeviation is the validation budget (fraction). It means
@@ -73,23 +92,113 @@ func DefaultConstraints() Constraints {
 	return Constraints{MaxFlowDeviation: 0.05}
 }
 
+// Strategy selects the search algorithm.
+type Strategy int
+
+const (
+	// StrategyGrid evaluates every candidate at full fidelity — the
+	// exhaustive baseline.
+	StrategyGrid Strategy = iota
+	// StrategyHalving runs successive halving: every candidate is
+	// evaluated at a cheap rung (the approximate resistance model, or
+	// a low-resolution numeric grid), only the top fraction survives
+	// to the next, more expensive rung, and just the survivors pay
+	// for the full-fidelity evaluation.
+	StrategyHalving
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGrid:
+		return "grid"
+	case StrategyHalving:
+		return "halving"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// StrategyNames lists the valid ParseStrategy spellings for usage
+// messages.
+const StrategyNames = "grid, halving"
+
+// ParseStrategy resolves a strategy name. Unknown spellings return an
+// error listing the valid names, mirroring sim.ParseModel.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "grid":
+		return StrategyGrid, nil
+	case "halving":
+		return StrategyHalving, nil
+	default:
+		return 0, fmt.Errorf("optimize: unknown strategy %q (valid strategies: %s)", name, StrategyNames)
+	}
+}
+
+// Progress is one search progress event. Events are advisory — they
+// let a caller (the jobs runner, a CLI spinner) report live progress —
+// and carry only completed work: Evaluated never counts a candidate
+// whose evaluation was cut short.
+type Progress struct {
+	// Evaluated counts candidate evaluations completed so far; Total
+	// is the planned number of evaluations (for halving, the
+	// worst-case rung plan — the search may finish under it when
+	// candidates fail to generate).
+	Evaluated, Total int
+	// Rung is the fidelity rung being evaluated (always 0 for the
+	// grid strategy).
+	Rung int
+	// Completed, when non-nil, is a copy of the candidate record that
+	// just finished evaluating.
+	Completed *Candidate
+	// Best, when non-nil, is a copy of the best feasible candidate
+	// seen so far at the current rung's fidelity.
+	Best *Candidate
+}
+
 // Options configures the search.
 type Options struct {
 	Objective   Objective
 	Constraints Constraints
 	// ChannelHeights are the candidate uniform channel heights; nil
-	// selects {100, 125, 150, 175, 200} µm.
+	// selects {100, 125, 150, 175, 200} µm. A non-nil empty slice is
+	// an explicit zero-candidate axis and is rejected rather than
+	// silently yielding an infeasible search.
 	ChannelHeights []units.Length
 	// MinGaps are the candidate module gap budgets; nil selects
-	// {2, 2.5, 3, 4} mm.
+	// {2, 2.5, 3, 4} mm. A non-nil empty slice is rejected like an
+	// empty ChannelHeights.
 	MinGaps []units.Length
+	// Strategy selects grid (default) or successive halving.
+	Strategy Strategy
+	// Sim is the full-fidelity validation configuration: the grid
+	// strategy uses it for every candidate, the halving strategy for
+	// the final rung. The zero value keeps the historical analytic
+	// exact model.
+	Sim sim.Options
+	// HalvingEta is the halving keep divisor: each rung keeps
+	// ceil(n/HalvingEta) survivors. Zero selects 2; values below 2
+	// are rejected (the rung population must shrink).
+	HalvingEta int
+	// Workers bounds the concurrent candidate evaluations of a
+	// halving rung (0 = GOMAXPROCS). The grid strategy is serial, so
+	// its candidate log and abort counts stay exact.
+	Workers int
+	// Progress, when non-nil, receives progress events. The halving
+	// strategy may invoke it concurrently from rung workers; the
+	// callback must be safe for concurrent use.
+	Progress func(Progress)
 }
 
 // Candidate records one evaluated design point.
 type Candidate struct {
 	ChannelHeight units.Length
 	MinGap        units.Length
-	Feasible      bool
+	// Rung is the fidelity rung the evaluation ran at (0 for the grid
+	// strategy; halving candidates appear once per rung they reached).
+	Rung int
+	Feasible bool
 	// Score is the objective value (lower is better); NaN when the
 	// candidate failed to generate.
 	Score float64
@@ -97,14 +206,40 @@ type Candidate struct {
 	Reason string
 }
 
+// RungStats summarizes one successive-halving rung.
+type RungStats struct {
+	// Rung is the rung index, cheapest first.
+	Rung int
+	// Model names the rung fidelity ("approx", "exact", "numeric/16").
+	Model string
+	// Evaluated is how many candidates were evaluated at this rung;
+	// Kept is how many survived into the next rung (equal to
+	// Evaluated for the final rung).
+	Evaluated, Kept int
+}
+
 // Result is the outcome of an optimization run.
 type Result struct {
 	Best       *core.Design
 	BestReport *sim.Report
 	BestSpec   core.Spec
+	// BestCandidate is the winning candidate record (final-rung
+	// fidelity), nil when nothing was feasible.
+	BestCandidate *Candidate
+	// Candidates logs every completed evaluation. The grid strategy
+	// records each candidate once; halving records one entry per
+	// (rung, surviving candidate), in rung-major candidate order.
 	Candidates []Candidate
-	Evaluated  int
-	Feasible   int
+	// Evaluated counts completed candidate evaluations across all
+	// rungs; FullEvaluations counts only full-fidelity (final-rung)
+	// evaluations — the cost a grid search pays for every candidate.
+	Evaluated       int
+	FullEvaluations int
+	// Feasible counts candidates found feasible at full fidelity.
+	Feasible int
+	// Rungs describes the halving schedule actually run (nil for the
+	// grid strategy).
+	Rungs []RungStats
 }
 
 // ErrInfeasible is returned when no candidate satisfies the
@@ -118,12 +253,16 @@ func Optimize(spec core.Spec, opt Options) (*Result, error) {
 	return Search(context.Background(), spec, opt)
 }
 
-// Search is Optimize with cooperative cancellation: the candidate
-// loop checks ctx between candidates and, when ctx is done, returns
-// the partial Result accumulated so far together with an error
-// wrapping ctx.Err() — callers can inspect Result.Candidates to see
-// how far the search got, and errors.Is distinguishes the abort from
-// ErrInfeasible.
+// Search is Optimize with cooperative cancellation and strategy
+// selection: when ctx is done the search returns the partial Result
+// accumulated so far together with an error wrapping ctx.Err() —
+// callers can inspect Result.Candidates to see how far the search
+// got, and errors.Is distinguishes the abort from ErrInfeasible.
+//
+// Evaluated counts only completed candidate evaluations: a candidate
+// whose generation or validation was cut short by cancellation is
+// neither counted nor logged, so "aborted after N of M candidates"
+// means exactly N finished.
 func Search(ctx context.Context, spec core.Spec, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -134,79 +273,138 @@ func Search(ctx context.Context, spec core.Spec, opt Options) (*Result, error) {
 			units.Micrometres(100), units.Micrometres(125), units.Micrometres(150),
 			units.Micrometres(175), units.Micrometres(200),
 		}
+	} else if len(heights) == 0 {
+		// A non-nil empty axis is an explicit request for zero
+		// candidates — almost certainly a bug at the call site (a
+		// filtered-to-nothing slice). Name the axis instead of
+		// reporting a vacuous ErrInfeasible.
+		return nil, fmt.Errorf("optimize: ChannelHeights is empty (nil selects the default axis; an empty axis has no candidates)")
 	}
 	gaps := opt.MinGaps
 	if gaps == nil {
 		gaps = []units.Length{
 			units.Millimetres(2), units.Millimetres(2.5), units.Millimetres(3), units.Millimetres(4),
 		}
+	} else if len(gaps) == 0 {
+		return nil, fmt.Errorf("optimize: MinGaps is empty (nil selects the default axis; an empty axis has no candidates)")
 	}
-	maxDev := opt.Constraints.MaxFlowDeviation
-	if maxDev < 0 {
-		return nil, fmt.Errorf("optimize: negative flow-deviation budget %g", maxDev)
+	if opt.Constraints.MaxFlowDeviation < 0 {
+		return nil, fmt.Errorf("optimize: negative flow-deviation budget %g", opt.Constraints.MaxFlowDeviation)
+	}
+	switch opt.Strategy {
+	case StrategyGrid:
+		return searchGrid(ctx, spec, opt, heights, gaps)
+	case StrategyHalving:
+		return searchHalving(ctx, spec, opt, heights, gaps)
+	default:
+		return nil, fmt.Errorf("optimize: unknown strategy %v (valid strategies: %s)", opt.Strategy, StrategyNames)
+	}
+}
+
+// evaluate generates and validates one candidate design point under
+// simOpt and classifies it against the constraints. The returned
+// report and design are nil when the candidate failed to generate or
+// validate; an abort error is returned only when ctx was cut, so the
+// caller can distinguish "this candidate is bad" from "the search is
+// over".
+func evaluate(ctx context.Context, spec core.Spec, opt Options, h, g units.Length, rung int, simOpt sim.Options) (Candidate, core.Spec, *core.Design, *sim.Report, error) {
+	cand := Candidate{ChannelHeight: h, MinGap: g, Rung: rung, Score: math.NaN()}
+	s := spec
+	s.Geometry.ChannelHeight = h
+	s.Geometry.MinGap = g
+	d, err := core.GenerateContext(ctx, s)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cand, s, nil, nil, cerr
+		}
+		cand.Reason = fmt.Sprintf("generation failed: %v", err)
+		return cand, s, nil, nil, nil
+	}
+	rep, err := sim.ValidateContext(ctx, d, simOpt)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cand, s, nil, nil, cerr
+		}
+		cand.Reason = fmt.Sprintf("validation failed: %v", err)
+		return cand, s, nil, nil, nil
 	}
 
+	cand.Score = score(opt.Objective, d, rep)
+	switch {
+	case rep.MaxFlowDeviation > opt.Constraints.MaxFlowDeviation:
+		cand.Reason = fmt.Sprintf("flow deviation %.1f%% over budget %.1f%%",
+			rep.MaxFlowDeviation*100, opt.Constraints.MaxFlowDeviation*100)
+	case opt.Constraints.MaxPumpPressure > 0 && rep.PumpPressure > opt.Constraints.MaxPumpPressure:
+		cand.Reason = fmt.Sprintf("pump pressure %.0f Pa over cap %.0f Pa",
+			rep.PumpPressure.Pascals(), opt.Constraints.MaxPumpPressure.Pascals())
+	case opt.Constraints.MaxChipWidth > 0 && units.Length(d.Bounds.Width()) > opt.Constraints.MaxChipWidth:
+		cand.Reason = fmt.Sprintf("chip width %.1f mm over cap", d.Bounds.Width()*1e3)
+	case opt.Constraints.MaxChipHeight > 0 && units.Length(d.Bounds.Height()) > opt.Constraints.MaxChipHeight:
+		cand.Reason = fmt.Sprintf("chip height %.1f mm over cap", d.Bounds.Height()*1e3)
+	default:
+		cand.Feasible = true
+	}
+	return cand, s, d, rep, nil
+}
+
+// searchGrid evaluates the full candidate grid serially at full
+// fidelity, in height-major candidate order.
+func searchGrid(ctx context.Context, spec core.Spec, opt Options, heights, gaps []units.Length) (*Result, error) {
 	res := &Result{}
+	total := len(heights) * len(gaps)
 	bestScore := math.Inf(1)
+	abort := func(err error) (*Result, error) {
+		return res, fmt.Errorf("optimize: search aborted after %d of %d candidates: %w",
+			res.Evaluated, total, err)
+	}
 	for _, h := range heights {
 		for _, g := range gaps {
 			if err := ctx.Err(); err != nil {
-				return res, fmt.Errorf("optimize: search aborted after %d of %d candidates: %w",
-					res.Evaluated, len(heights)*len(gaps), err)
+				return abort(err)
 			}
-			cand := Candidate{ChannelHeight: h, MinGap: g, Score: math.NaN()}
+			cand, s, d, rep, err := evaluate(ctx, spec, opt, h, g, 0, opt.Sim)
+			if err != nil {
+				// The evaluation was cut short: the candidate did not
+				// complete, so it is neither counted nor logged.
+				return abort(err)
+			}
 			res.Evaluated++
-
-			s := spec
-			s.Geometry.ChannelHeight = h
-			s.Geometry.MinGap = g
-			d, err := core.GenerateContext(ctx, s)
-			if err != nil {
-				cand.Reason = fmt.Sprintf("generation failed: %v", err)
-				res.Candidates = append(res.Candidates, cand)
-				continue
-			}
-			rep, err := sim.ValidateContext(ctx, d, sim.Options{})
-			if err != nil {
-				if ctx.Err() != nil {
-					res.Candidates = append(res.Candidates, cand)
-					return res, fmt.Errorf("optimize: search aborted after %d of %d candidates: %w",
-						res.Evaluated, len(heights)*len(gaps), ctx.Err())
-				}
-				cand.Reason = fmt.Sprintf("validation failed: %v", err)
-				res.Candidates = append(res.Candidates, cand)
-				continue
-			}
-
-			cand.Score = score(opt.Objective, d, rep)
-			switch {
-			case rep.MaxFlowDeviation > maxDev:
-				cand.Reason = fmt.Sprintf("flow deviation %.1f%% over budget %.1f%%",
-					rep.MaxFlowDeviation*100, maxDev*100)
-			case opt.Constraints.MaxPumpPressure > 0 && rep.PumpPressure > opt.Constraints.MaxPumpPressure:
-				cand.Reason = fmt.Sprintf("pump pressure %.0f Pa over cap %.0f Pa",
-					rep.PumpPressure.Pascals(), opt.Constraints.MaxPumpPressure.Pascals())
-			case opt.Constraints.MaxChipWidth > 0 && units.Length(d.Bounds.Width()) > opt.Constraints.MaxChipWidth:
-				cand.Reason = fmt.Sprintf("chip width %.1f mm over cap", d.Bounds.Width()*1e3)
-			case opt.Constraints.MaxChipHeight > 0 && units.Length(d.Bounds.Height()) > opt.Constraints.MaxChipHeight:
-				cand.Reason = fmt.Sprintf("chip height %.1f mm over cap", d.Bounds.Height()*1e3)
-			default:
-				cand.Feasible = true
+			res.FullEvaluations++
+			if cand.Feasible {
 				res.Feasible++
 				if cand.Score < bestScore {
 					bestScore = cand.Score
 					res.Best = d
 					res.BestReport = rep
 					res.BestSpec = s
+					c := cand
+					res.BestCandidate = &c
 				}
 			}
 			res.Candidates = append(res.Candidates, cand)
+			if opt.Progress != nil {
+				p := Progress{Evaluated: res.Evaluated, Total: total, Completed: copyCandidate(cand)}
+				p.Best = cloneCandidate(res.BestCandidate)
+				opt.Progress(p)
+			}
 		}
 	}
 	if res.Best == nil {
 		return res, ErrInfeasible
 	}
 	return res, nil
+}
+
+// copyCandidate returns a pointer to a copy of c.
+func copyCandidate(c Candidate) *Candidate { return &c }
+
+// cloneCandidate copies c, or returns nil for nil.
+func cloneCandidate(c *Candidate) *Candidate {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	return &cp
 }
 
 func score(o Objective, d *core.Design, rep *sim.Report) float64 {

@@ -3,7 +3,9 @@ package optimize
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"ooc/internal/core"
@@ -188,18 +190,98 @@ func TestSearchCancelledReturnsPartialResult(t *testing.T) {
 }
 
 func TestSearchDeadlineMidwayKeepsEvaluatedCandidates(t *testing.T) {
-	// A custom context that expires after the first candidate gives a
-	// deterministic mid-search abort.
-	ctx := &countdownCtx{Context: context.Background(), remaining: 3}
-	res, err := Search(ctx, baseSpec(), Options{Objective: MinimizeArea, Constraints: DefaultConstraints()})
+	// Cancelling from the progress callback after the first completed
+	// candidate gives a deterministic mid-search abort: exactly one
+	// candidate finished, so the abort message must say "after 1 of
+	// 20" — the historical code incremented Evaluated before
+	// evaluating and over-counted by one here.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Search(ctx, baseSpec(), Options{
+		Objective:   MinimizeArea,
+		Constraints: DefaultConstraints(),
+		Progress: func(p Progress) {
+			if p.Evaluated == 1 {
+				cancel()
+			}
+		},
+	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	if res.Evaluated == 0 || len(res.Candidates) == 0 {
-		t.Fatal("mid-search abort must keep already-evaluated candidates")
+	if res.Evaluated != 1 || len(res.Candidates) != 1 {
+		t.Fatalf("abort after first candidate: Evaluated=%d, %d candidates; want 1 and 1",
+			res.Evaluated, len(res.Candidates))
 	}
-	if res.Evaluated >= 20 {
-		t.Fatalf("search ran to completion (%d) despite cancellation", res.Evaluated)
+	if !strings.Contains(err.Error(), "after 1 of 20") {
+		t.Fatalf("abort message over- or under-counts: %v", err)
+	}
+}
+
+// TestSearchAbortNeverCountsUnfinishedCandidates: wherever in a
+// candidate's evaluation the cancellation lands (the countdown sweeps
+// it through generation and validation), the partial result contains
+// only fully evaluated candidates — no phantom entry without a
+// verdict, and Evaluated == len(Candidates).
+func TestSearchAbortNeverCountsUnfinishedCandidates(t *testing.T) {
+	for remaining := 0; remaining < 40; remaining += 4 {
+		ctx := &countdownCtx{Context: context.Background(), remaining: remaining}
+		res, err := Search(ctx, baseSpec(), Options{Objective: MinimizeArea, Constraints: DefaultConstraints()})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("remaining=%d: want context.Canceled, got %v", remaining, err)
+		}
+		if res.Evaluated != len(res.Candidates) {
+			t.Fatalf("remaining=%d: Evaluated=%d but %d candidates logged",
+				remaining, res.Evaluated, len(res.Candidates))
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("after %d of 20", res.Evaluated)) {
+			t.Fatalf("remaining=%d: message disagrees with Evaluated=%d: %v",
+				remaining, res.Evaluated, err)
+		}
+		for _, c := range res.Candidates {
+			if !c.Feasible && c.Reason == "" {
+				t.Fatalf("remaining=%d: phantom candidate without verdict: %+v", remaining, c)
+			}
+			if strings.Contains(c.Reason, "context canceled") {
+				t.Fatalf("remaining=%d: cancellation recorded as a candidate failure: %+v", remaining, c)
+			}
+		}
+	}
+}
+
+// TestEmptyAxisRejected: a non-nil empty candidate axis is an explicit
+// zero-candidate request — almost always a filtered-to-nothing bug —
+// and must fail naming the axis instead of reporting ErrInfeasible.
+func TestEmptyAxisRejected(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"ChannelHeights", Options{Constraints: DefaultConstraints(), ChannelHeights: []units.Length{}}},
+		{"MinGaps", Options{Constraints: DefaultConstraints(), MinGaps: []units.Length{}}},
+	} {
+		res, err := Search(context.Background(), baseSpec(), tc.opt)
+		if err == nil || errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%s: empty axis must be an explicit error, got %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Fatalf("%s: error does not name the empty axis: %v", tc.name, err)
+		}
+		if res != nil {
+			t.Fatalf("%s: empty axis returned a result", tc.name)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{"": StrategyGrid, "grid": StrategyGrid, "halving": StrategyHalving} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("simulated-annealing"); err == nil || !strings.Contains(err.Error(), StrategyNames) {
+		t.Fatalf("unknown strategy must list the valid names, got %v", err)
 	}
 }
 

@@ -42,7 +42,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
+	// Cancel the background search jobs first: they are not HTTP
+	// requests, so hs.Shutdown would not wait for them, and their
+	// cancelled partial results stay pollable while the HTTP drain
+	// runs.
+	s.jobs.Shutdown()
 	err := hs.Shutdown(drainCtx)
+	if jerr := s.jobs.Drain(drainCtx); jerr != nil && err == nil {
+		err = fmt.Errorf("job drain: %w", jerr)
+	}
 	cancelBase()
 	if err != nil {
 		// Drain budget exhausted: cut the remaining connections. The

@@ -26,6 +26,12 @@
 //	                            m ∈ {exact, approx, numeric},
 //	                            s ∈ {auto, sor, mg} (Poisson backend
 //	                            for the numeric model)
+//	POST   /v1/jobs             submit an asynchronous design-space
+//	                            search (grid or successive halving);
+//	                            202 + job id, admission-bounded (429)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        poll progress / final result
+//	DELETE /v1/jobs/{id}        cancel cooperatively
 //	GET  /healthz               liveness
 //	GET  /metrics               text metrics exposition
 package server
@@ -41,6 +47,7 @@ import (
 	"time"
 
 	"ooc/internal/core"
+	"ooc/internal/jobs"
 	"ooc/internal/obs"
 	"ooc/internal/parallel"
 	"ooc/internal/render"
@@ -79,6 +86,17 @@ type Config struct {
 	// that do not pass ?scheme=. Default: sim.SchemeAuto. An explicit
 	// ?scheme= always wins.
 	DefaultScheme sim.Scheme
+	// JobsMaxRunning/JobsQueueDepth/JobsHistory size the asynchronous
+	// /v1/jobs manager; zero values select the internal/jobs defaults
+	// (1 running job, 8 queued, 64 retained).
+	JobsMaxRunning int
+	JobsQueueDepth int
+	JobsHistory    int
+	// JobDefaultTimeout/JobMaxTimeout are the per-job deadline budget
+	// and its cap; zero values select the internal/jobs defaults
+	// (5m and 30m).
+	JobDefaultTimeout time.Duration
+	JobMaxTimeout     time.Duration
 	// Collector receives the serving telemetry. Default: a fresh
 	// process-lifetime collector (exposed via Collector()).
 	Collector *obs.Collector
@@ -116,6 +134,7 @@ type Server struct {
 	col   *obs.Collector
 	adm   *admission
 	cache *respCache
+	jobs  *jobs.Manager
 	mux   *http.ServeMux
 	start time.Time
 
@@ -130,10 +149,18 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		col:      cfg.Collector,
-		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		cache:    newRespCache(cfg.CacheSize),
+		cfg:   cfg,
+		col:   cfg.Collector,
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		cache: newRespCache(cfg.CacheSize),
+		jobs: jobs.NewManager(jobs.Config{
+			MaxRunning:     cfg.JobsMaxRunning,
+			QueueDepth:     cfg.JobsQueueDepth,
+			History:        cfg.JobsHistory,
+			DefaultTimeout: cfg.JobDefaultTimeout,
+			MaxTimeout:     cfg.JobMaxTimeout,
+			Collector:      cfg.Collector,
+		}),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		generate: core.GenerateContext,
@@ -141,6 +168,8 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/design", s.handleDesign)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -157,7 +186,8 @@ func (s *Server) Collector() *obs.Collector { return s.col }
 // cmd/oocd to flush metrics at drain time.
 func (s *Server) MetricsText() string {
 	inflight, queued := s.adm.gauges()
-	return renderMetrics(s.col.Snapshot(), inflight, queued, time.Since(s.start))
+	jobsRunning, jobsQueued := s.jobs.Gauges()
+	return renderMetrics(s.col.Snapshot(), inflight, queued, jobsRunning, jobsQueued, time.Since(s.start))
 }
 
 // jsonError renders a JSON error response.
@@ -234,14 +264,19 @@ func (s *Server) readSpec(w http.ResponseWriter, r *http.Request) (core.Spec, []
 
 // requestContext derives the per-request deadline budget: the server
 // default, overridable by ?timeout= up to the configured cap. The
-// returned context also carries the server's telemetry collector, so
-// solver iterations and cross-section cache traffic land in /metrics.
-func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+// effective budget is returned so handlers can echo it in the
+// X-OOC-Timeout response header — a ?timeout= above the cap is
+// honored only up to MaxTimeout, and silently clamping it used to
+// leave clients planning around a budget the server never granted.
+// The returned context also carries the server's telemetry collector,
+// so solver iterations and cross-section cache traffic land in
+// /metrics.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, time.Duration, error) {
 	budget := s.cfg.DefaultTimeout
 	if raw := r.URL.Query().Get("timeout"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil || d <= 0 {
-			return nil, nil, fmt.Errorf("invalid timeout %q (want a positive duration like 500ms)", raw)
+			return nil, nil, 0, fmt.Errorf("invalid timeout %q (want a positive duration like 500ms)", raw)
 		}
 		if d > s.cfg.MaxTimeout {
 			d = s.cfg.MaxTimeout
@@ -250,7 +285,7 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	}
 	ctx := obs.WithCollector(r.Context(), s.col)
 	ctx, cancel := context.WithTimeout(ctx, budget)
-	return ctx, cancel, nil
+	return ctx, cancel, budget, nil
 }
 
 // handleDesign serves POST /v1/design: specification in, generated
@@ -267,12 +302,13 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, "design", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
 	}
-	ctx, cancel, err := s.requestContext(r)
+	ctx, cancel, budget, err := s.requestContext(r)
 	if err != nil {
 		s.reply(w, "design", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
 	}
 	defer cancel()
+	w.Header().Set("X-OOC-Timeout", budget.String())
 
 	resp, hit, err := s.cache.do(ctx, s.col, "design|"+string(key), func() (response, bool, error) {
 		if err := s.adm.acquire(ctx); err != nil {
@@ -401,12 +437,13 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
 	}
-	ctx, cancel, err := s.requestContext(r)
+	ctx, cancel, budget, err := s.requestContext(r)
 	if err != nil {
 		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
 	}
 	defer cancel()
+	w.Header().Set("X-OOC-Timeout", budget.String())
 
 	// The rendering is part of the cache key: text and JSON replies of
 	// the same report are distinct cached bodies.

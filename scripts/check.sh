@@ -115,6 +115,15 @@ oocd_smoke() {
         kill "$OOCD_PID" 2>/dev/null || true
         return 1
     }
+    # Jobs smoke: submit a successive-halving search job against the
+    # same daemon, poll it to completion, and assert it found a
+    # feasible best with fewer full-fidelity evaluations than the
+    # exhaustive grid pays.
+    timeout 120 "$WORK/oocload" -url "http://$ADDR" -jobs || {
+        echo "oocd jobs probe failed" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
     kill -TERM "$OOCD_PID"
     ( sleep 2; kill -KILL "$OOCD_PID" 2>/dev/null ) &
     KILLER_PID=$!
