@@ -6,12 +6,21 @@
 // first solve; -distinct requests a spread of built-in use cases so
 // every request is a cold solve instead.
 //
+// With -targets, oocload drives a fleet of daemons: each distinct spec
+// body routes to one replica by rendezvous hashing, so every replica's
+// response cache converges on its own shard of the key space instead
+// of every replica caching everything. The routing depends only on the
+// (target, body) pairs — not on list order or which oocload process
+// computes it.
+//
 // Usage:
 //
 //	oocload -url http://localhost:8080 -n 200 -c 8
 //	oocload -url http://localhost:8080 -endpoint validate -model numeric
-//	oocload -url http://localhost:8080 -smoke   # health+design+metrics probe
-//	oocload -url http://localhost:8080 -jobs    # async /v1/jobs search probe
+//	oocload -targets http://localhost:8080,http://localhost:8081 -distinct
+//	oocload -url http://localhost:8080 -smoke     # health+design+metrics probe
+//	oocload -url http://localhost:8080 -jobs      # async /v1/jobs search probe
+//	oocload -url http://localhost:8080 -metrics   # dump /metrics to stdout
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 
 type config struct {
 	url      string
+	targets  string
 	endpoint string
 	model    string
 	spec     string
@@ -42,19 +52,22 @@ type config struct {
 	distinct bool
 	smoke    bool
 	jobs     bool
+	metrics  bool
 }
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.url, "url", "http://localhost:8080", "base URL of the oocd daemon")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated daemon base URLs; requests route by rendezvous hash on the spec body (overrides -url)")
 	flag.StringVar(&cfg.endpoint, "endpoint", "design", "endpoint to load: design or validate")
 	flag.StringVar(&cfg.model, "model", "exact", "resistance model for -endpoint validate")
 	flag.StringVar(&cfg.spec, "spec", "male_simple", "built-in use case to post")
 	flag.IntVar(&cfg.n, "n", 100, "total number of requests")
 	flag.IntVar(&cfg.workers, "c", 8, "concurrent workers")
 	flag.BoolVar(&cfg.distinct, "distinct", false, "rotate through all built-in use cases (defeats the response cache)")
-	flag.BoolVar(&cfg.smoke, "smoke", false, "probe /healthz, one /v1/design and /metrics, then exit")
+	flag.BoolVar(&cfg.smoke, "smoke", false, "probe /healthz, one /v1/design and /metrics on every target, then exit")
 	flag.BoolVar(&cfg.jobs, "jobs", false, "submit a successive-halving search job, poll it to completion, assert a feasible best, then exit")
+	flag.BoolVar(&cfg.metrics, "metrics", false, "print every target's /metrics exposition to stdout, then exit")
 	flag.Parse()
 
 	path, err := cfg.requestPath()
@@ -63,13 +76,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: oocload [-endpoint {design, validate}] [-model {%s}] [flags]\n", sim.ModelNames)
 		os.Exit(2)
 	}
+	targets, err := splitTargets(cfg.targets, cfg.url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocload:", err)
+		os.Exit(2)
+	}
 	switch {
+	case cfg.metrics:
+		err = printMetrics(targets)
 	case cfg.smoke:
-		err = smoke(cfg.url)
+		err = nil
+		for _, t := range targets {
+			if serr := smoke(t); serr != nil && err == nil {
+				err = serr
+			}
+		}
 	case cfg.jobs:
-		err = jobsProbe(cfg.url, cfg.spec)
+		err = jobsProbe(targets[0], cfg.spec)
 	default:
-		err = run(cfg, path)
+		err = run(cfg, targets, path)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocload:", err)
@@ -137,22 +162,33 @@ func post(client *http.Client, url string, body []byte) (int, error) {
 	return resp.StatusCode, nil
 }
 
-func run(cfg config, path string) error {
+func run(cfg config, targets []string, path string) error {
 	payloads, err := bodies(cfg)
 	if err != nil {
 		return err
 	}
 	client := &http.Client{Timeout: 2 * time.Minute}
-	url := cfg.url + path
+
+	// Route each distinct payload once, up front: the per-request work
+	// stays allocation-free and the routing is visibly deterministic.
+	urls := make([]string, len(payloads))
+	routed := make(map[string]int)
+	for i, body := range payloads {
+		target := pickTarget(targets, body)
+		urls[i] = target + path
+		routed[target]++
+	}
 
 	var mu sync.Mutex
 	latencies := make([]time.Duration, 0, cfg.n)
 	statuses := make(map[int]int)
+	perTarget := make(map[string]int)
 
 	workers := parallel.Workers(cfg.workers)
 	start := time.Now()
 	err = parallel.ForEach(cfg.n, workers, func(i int) error {
 		body := payloads[i%len(payloads)]
+		url := urls[i%len(payloads)]
 		t0 := time.Now()
 		status, err := post(client, url, body)
 		lat := time.Since(t0)
@@ -162,6 +198,7 @@ func run(cfg config, path string) error {
 		mu.Lock()
 		latencies = append(latencies, lat)
 		statuses[status]++
+		perTarget[url]++
 		mu.Unlock()
 		return nil
 	})
@@ -171,8 +208,22 @@ func run(cfg config, path string) error {
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	fmt.Printf("oocload: %d requests to %s with %d workers in %v\n", cfg.n, url, workers, elapsed.Round(time.Millisecond))
+	where := targets[0] + path
+	if len(targets) > 1 {
+		where = fmt.Sprintf("%d targets%s", len(targets), path)
+	}
+	fmt.Printf("oocload: %d requests to %s with %d workers in %v\n", cfg.n, where, workers, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.1f req/s\n", float64(cfg.n)/elapsed.Seconds())
+	if len(targets) > 1 {
+		var tUrls []string
+		for u := range perTarget {
+			tUrls = append(tUrls, u)
+		}
+		sort.Strings(tUrls)
+		for _, u := range tUrls {
+			fmt.Printf("target %s: %d requests (%d distinct specs)\n", u, perTarget[u], routed[strings.TrimSuffix(u, path)])
+		}
+	}
 	var codes []int
 	for code := range statuses {
 		codes = append(codes, code)
@@ -208,6 +259,35 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 		rank = len(sorted)
 	}
 	return sorted[rank-1]
+}
+
+// printMetrics dumps every target's /metrics exposition to stdout —
+// the scriptable way to assert on counters (scripts/check.sh pins the
+// warm-boot cache hit with it; no curl needed). Multiple targets are
+// separated by a "# target" comment line.
+func printMetrics(targets []string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, base := range targets {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			return fmt.Errorf("metrics %s: %w", base, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("metrics %s: %w", base, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("metrics %s: status %d", base, resp.StatusCode)
+		}
+		if len(targets) > 1 {
+			fmt.Printf("# target %s\n", base)
+		}
+		fmt.Print(string(raw))
+	}
+	return nil
 }
 
 // smoke probes a running daemon end to end: /healthz answers ok, one

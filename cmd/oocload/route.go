@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// splitTargets resolves the -targets / -url flags into the list of
+// daemon base URLs to load. -targets wins when set; entries are
+// trimmed and trailing slashes dropped so "http://a:1/" and
+// "http://a:1" route identically.
+func splitTargets(targets, url string) ([]string, error) {
+	if targets == "" {
+		return []string{strings.TrimSuffix(url, "/")}, nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range strings.Split(targets, ",") {
+		t = strings.TrimSuffix(strings.TrimSpace(t), "/")
+		if t == "" {
+			continue
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("duplicate target %q", t)
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-targets lists no targets")
+	}
+	return out, nil
+}
+
+// pickTarget routes a request body to one target by rendezvous
+// (highest-random-weight) hashing: each target scores
+// FNV-1a64(target NUL body) and the highest score wins. The choice
+// depends only on the (target, body) pairs — not on the order targets
+// are listed — so every oocload process (and every replica doing the
+// same arithmetic) sends a given canonical spec to the same daemon,
+// which is what makes each replica's response cache converge on its
+// shard of the key space. Removing a target only remaps the keys that
+// scored highest on it; everything else stays put.
+func pickTarget(targets []string, body []byte) string {
+	best := targets[0]
+	var bestScore uint64
+	for i, t := range targets {
+		h := fnv.New64a()
+		// Writes to a hash.Hash never fail.
+		_, _ = h.Write([]byte(t))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write(body)
+		score := h.Sum64()
+		if i == 0 || score > bestScore || (score == bestScore && t < best) {
+			best, bestScore = t, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSplitTargets: -targets parsing normalizes slashes/whitespace,
+// rejects duplicates and empty lists, and falls back to -url.
+func TestSplitTargets(t *testing.T) {
+	got, err := splitTargets("", "http://a:1/")
+	if err != nil || len(got) != 1 || got[0] != "http://a:1" {
+		t.Fatalf("fallback to -url: %v %v", got, err)
+	}
+	got, err = splitTargets(" http://a:1/ , http://b:2 ", "ignored")
+	if err != nil || len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("two targets: %v %v", got, err)
+	}
+	if _, err := splitTargets("http://a:1,http://a:1/", ""); err == nil {
+		t.Fatal("duplicate targets (differing only by slash) accepted")
+	}
+	if _, err := splitTargets(" , ", ""); err == nil {
+		t.Fatal("blank target list accepted")
+	}
+}
+
+// TestPickTargetDeterministicAndOrderIndependent: the same (targets,
+// body) pair always routes to the same replica regardless of the order
+// targets are listed — the property that lets independent oocload
+// processes (and independently booted replicas) agree on the sharding
+// without coordination.
+func TestPickTargetDeterministicAndOrderIndependent(t *testing.T) {
+	targets := []string{"http://a:1", "http://b:2", "http://c:3"}
+	reversed := []string{"http://c:3", "http://b:2", "http://a:1"}
+	for i := 0; i < 50; i++ {
+		body := []byte(fmt.Sprintf(`{"spec":%d}`, i))
+		first := pickTarget(targets, body)
+		if again := pickTarget(targets, body); again != first {
+			t.Fatalf("body %d: routing not deterministic (%s vs %s)", i, first, again)
+		}
+		if rev := pickTarget(reversed, body); rev != first {
+			t.Fatalf("body %d: routing depends on target order (%s vs %s)", i, first, rev)
+		}
+	}
+}
+
+// TestPickTargetSpreadsAndStaysStable: many distinct bodies spread
+// over all targets (no degenerate all-to-one hashing), and removing
+// one target only remaps the bodies that were routed to it.
+func TestPickTargetSpreadsAndStaysStable(t *testing.T) {
+	targets := []string{"http://a:1", "http://b:2", "http://c:3"}
+	const n = 300
+	assigned := make(map[string]string, n)
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"spec":%d}`, i)
+		target := pickTarget(targets, []byte(body))
+		assigned[body] = target
+		counts[target]++
+	}
+	for _, target := range targets {
+		// A uniform hash gives ~100 each; even a badly unlucky draw
+		// keeps every shard well above a twentieth of the keys.
+		if counts[target] < n/20 {
+			t.Fatalf("target %s got %d of %d bodies — hashing is degenerate: %v", target, counts[target], n, counts)
+		}
+	}
+
+	// Drop one target: only its keys may move.
+	remaining := []string{"http://a:1", "http://c:3"}
+	for body, was := range assigned {
+		now := pickTarget(remaining, []byte(body))
+		if was != "http://b:2" && now != was {
+			t.Fatalf("body %q moved %s → %s though its target never left", body, was, now)
+		}
+		if was == "http://b:2" && now != "http://a:1" && now != "http://c:3" {
+			t.Fatalf("orphaned body %q routed to %s", body, now)
+		}
+	}
+}

@@ -105,14 +105,15 @@ type timingAgg struct {
 // usable; construct with NewCollector. All methods are safe for
 // concurrent use and are no-ops on a nil receiver.
 type Collector struct {
-	mu           sync.Mutex
-	solvers      map[string]*solverAgg
-	cacheHits    int64
-	cacheMisses  int64
-	degradations map[string]int
-	counters     map[string]int64
-	timings      map[string]*timingAgg
-	mgLevels     map[mgLevelKey]*mgLevelAgg
+	mu              sync.Mutex
+	solvers         map[string]*solverAgg
+	cacheHits       int64
+	cacheMisses     int64
+	cacheJoinAborts int64
+	degradations    map[string]int
+	counters        map[string]int64
+	timings         map[string]*timingAgg
+	mgLevels        map[mgLevelKey]*mgLevelAgg
 }
 
 // NewCollector returns an empty collector.
@@ -227,6 +228,21 @@ func (c *Collector) RecordCacheMiss() {
 	c.cacheMisses++
 }
 
+// RecordCacheJoinAbort counts one cross-section cache join abort: a
+// waiter that found an in-flight solve for its key but whose context
+// expired before the owner finished. The waiter received nothing from
+// the cache, so it is neither a hit nor a miss — conflating it with
+// hits used to inflate the hit rate under deadline pressure and made
+// the hit counter schedule-dependent.
+func (c *Collector) RecordCacheJoinAbort() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cacheJoinAborts++
+}
+
 // RecordDegradation counts one graceful model downgrade (e.g. a
 // numeric resistance falling back to the analytic model on deadline).
 func (c *Collector) RecordDegradation(reason string) {
@@ -284,7 +300,7 @@ func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.solvers = make(map[string]*solverAgg)
-	c.cacheHits, c.cacheMisses = 0, 0
+	c.cacheHits, c.cacheMisses, c.cacheJoinAborts = 0, 0, 0
 	c.degradations = make(map[string]int)
 	c.counters = make(map[string]int64)
 	c.timings = make(map[string]*timingAgg)
@@ -355,11 +371,15 @@ type Summary struct {
 	Solvers []SolverSummary
 	// MGLevels breaks the "mg" solver's work down by hierarchy level
 	// and grid size, sorted by (level, nx, ny).
-	MGLevels     []MGLevelSummary
-	CacheHits    int64
-	CacheMisses  int64
-	Degradations []DegradationCount
-	Counters     []NamedCount
+	MGLevels    []MGLevelSummary
+	CacheHits   int64
+	CacheMisses int64
+	// CacheJoinAborts counts waiters that joined an in-flight solve but
+	// ran out of context budget before the owner finished — neither
+	// hits nor misses (see RecordCacheJoinAbort).
+	CacheJoinAborts int64
+	Degradations    []DegradationCount
+	Counters        []NamedCount
 	// Timings holds wall-clock latency histograms; they are exposed
 	// for /metrics-style renderers and deliberately excluded from
 	// Format.
@@ -373,7 +393,7 @@ func (c *Collector) Snapshot() Summary {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := Summary{CacheHits: c.cacheHits, CacheMisses: c.cacheMisses}
+	s := Summary{CacheHits: c.cacheHits, CacheMisses: c.cacheMisses, CacheJoinAborts: c.cacheJoinAborts}
 	names := make([]string, 0, len(c.solvers))
 	for name := range c.solvers {
 		names = append(names, name)
@@ -536,6 +556,12 @@ func (s Summary) Format() string {
 			s.CacheHits, s.CacheMisses, s.CacheHitRate()*100)
 	} else {
 		b.WriteString("  cross-section cache: no lookups\n")
+	}
+	// Join aborts only occur under deadline pressure; printing the line
+	// conditionally keeps abort-free summaries byte-identical to their
+	// historical rendering.
+	if s.CacheJoinAborts > 0 {
+		fmt.Fprintf(&b, "  cross-section cache join aborts: %d\n", s.CacheJoinAborts)
 	}
 	if len(s.Degradations) == 0 {
 		b.WriteString("  degradations: none\n")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ooc/internal/cachesnap"
 	"ooc/internal/obs"
 )
 
@@ -63,21 +64,36 @@ func newRespCache(capacity int) *respCache {
 // response, whether it may be cached, and a transport-level error
 // (admission rejection, context expiry) that should not poison the
 // cache. The second result is true when this caller did not run fill
-// itself (a cache hit or a singleflight join). Hit/miss counts are
-// recorded in col under server.cache.hits / server.cache.misses.
+// itself (a cache hit or a singleflight join). Counts are recorded in
+// col: server.cache.hits for lookups that received a result,
+// server.cache.misses for fills, and server.cache.join_aborts for
+// waiters whose context expired while joined on an in-flight entry —
+// those received nothing, and counting them as hits used to inflate
+// the hit rate and make the counters schedule-dependent under
+// deadline pressure.
 func (c *respCache) do(ctx context.Context, col *obs.Collector, key string, fill func() (response, bool, error)) (response, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.lru.MoveToFront(el)
 		c.mu.Unlock()
-		col.Add("server.cache.hits", 1)
+		// A completed entry is a hit regardless of ctx state: without
+		// the fast path the select below would choose randomly between
+		// a ready done and a ready ctx.Done().
 		select {
 		case <-e.done:
+			col.Add("server.cache.hits", 1)
+			return e.resp, true, e.err
+		default:
+		}
+		select {
+		case <-e.done:
+			col.Add("server.cache.hits", 1)
 			return e.resp, true, e.err
 		case <-ctx.Done():
 			// The owner keeps solving under its own budget; this waiter
-			// just stops waiting for it.
+			// just stops waiting for it — a join abort, not a hit.
+			col.Add("server.cache.join_aborts", 1)
 			return response{}, true, fmt.Errorf("server: waiting for identical in-flight request: %w", ctx.Err())
 		}
 	}
@@ -124,9 +140,89 @@ func (c *respCache) evictLocked() {
 	}
 }
 
-// Len reports the number of cached or in-flight entries.
+// Len reports the number of entries, completed *and* in-flight.
+// Snapshot export must see only completed entries — use LenCompleted
+// for the serializable population; the two differ exactly while fills
+// are running.
 func (c *respCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// LenCompleted reports the number of completed entries — the ones
+// export would serialize and eviction may remove.
+func (c *respCache) LenCompleted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).completed {
+			n++
+		}
+	}
+	return n
+}
+
+// export returns every completed, cacheable entry as snapshot entries,
+// most recently used first, so an importer can reconstruct the LRU
+// recency order. In-flight slots are never serialized (their responses
+// do not exist yet), and error/uncacheable fills never rest in the
+// cache at all — do removes their slots on completion.
+func (c *respCache) export() []cachesnap.ResponseEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := make([]cachesnap.ResponseEntry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if !e.completed || !e.cacheable || e.err != nil {
+			continue
+		}
+		entries = append(entries, cachesnap.ResponseEntry{
+			Key:         e.key,
+			Status:      e.resp.status,
+			ContentType: e.resp.contentType,
+			Body:        e.resp.body,
+		})
+	}
+	return entries
+}
+
+// importEntries installs snapshot entries as completed, cacheable
+// slots and reports how many were added. Entries arrive most recently
+// used first (export's order) and are appended behind any live
+// entries: the receiving process's own traffic outranks imported
+// history. Keys already present — completed or in-flight — are left
+// untouched; in particular an in-flight owner must never have its slot
+// replaced beneath it. Capacity is enforced afterwards, evicting the
+// least recently used imports first.
+func (c *respCache) importEntries(entries []cachesnap.ResponseEntry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for _, ent := range entries {
+		if ent.Key == "" || ent.Status == 0 {
+			continue
+		}
+		if _, exists := c.entries[ent.Key]; exists {
+			continue
+		}
+		done := make(chan struct{})
+		close(done)
+		e := &cacheEntry{
+			key:  ent.Key,
+			done: done,
+			resp: response{
+				status:      ent.Status,
+				contentType: ent.ContentType,
+				body:        ent.Body,
+			},
+			cacheable: true,
+			completed: true,
+		}
+		c.entries[ent.Key] = c.lru.PushBack(e)
+		added++
+	}
+	c.evictLocked()
+	return added
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"ooc/internal/cachesnap"
 	"ooc/internal/obs"
 )
 
@@ -26,8 +27,8 @@ func TestCacheLRUEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.Len() != 2 {
-		t.Fatalf("cache length %d, want 2", c.Len())
+	if c.LenCompleted() != 2 {
+		t.Fatalf("completed cache length %d, want 2", c.LenCompleted())
 	}
 	// "a" was least recently used, so it is the one gone.
 	hit := func(k string) bool {
@@ -86,11 +87,145 @@ func TestCacheErrorAndUncacheableNotRetained(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if c.Len() != 0 {
-		t.Fatalf("errored/uncacheable fills left %d entries", c.Len())
+	if c.Len() != 0 || c.LenCompleted() != 0 {
+		t.Fatalf("errored/uncacheable fills left %d entries (%d completed)", c.Len(), c.LenCompleted())
 	}
 	if _, hit, _ := c.do(ctx, col, "meh", fillOK("fresh")); hit {
 		t.Fatal("uncacheable result was served from cache")
+	}
+}
+
+// TestCacheLenCountsInFlight: Len sees in-flight singleflight slots,
+// LenCompleted and export do not — conflating the two used to let a
+// snapshot report (and try to serialize) entries that held no response
+// yet.
+func TestCacheLenCountsInFlight(t *testing.T) {
+	ctx := context.Background()
+	col := obs.NewCollector()
+	c := newRespCache(4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := c.do(ctx, col, "slow", func() (response, bool, error) {
+			close(entered)
+			<-release
+			return response{status: 200, contentType: "text/plain", body: []byte("slow")}, true, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-entered
+	if c.Len() != 1 || c.LenCompleted() != 0 {
+		t.Fatalf("mid-fill: Len=%d LenCompleted=%d, want 1/0", c.Len(), c.LenCompleted())
+	}
+	if exp := c.export(); len(exp) != 0 {
+		t.Fatalf("export serialized %d in-flight entries", len(exp))
+	}
+	close(release)
+	<-done
+	if c.Len() != 1 || c.LenCompleted() != 1 {
+		t.Fatalf("after fill: Len=%d LenCompleted=%d, want 1/1", c.Len(), c.LenCompleted())
+	}
+	if exp := c.export(); len(exp) != 1 || string(exp[0].Body) != "slow" {
+		t.Fatalf("export after fill: %+v", exp)
+	}
+}
+
+// TestCacheJoinAbortNotCountedAsHit: a waiter that joins an in-flight
+// fill and runs out of budget is a join abort, not a hit — and a
+// completed entry is a hit even under an already-expired context.
+// Pins the determinism: 1 miss (owner), 1 abort, 1 hit, never 2 hits.
+func TestCacheJoinAbortNotCountedAsHit(t *testing.T) {
+	col := obs.NewCollector()
+	c := newRespCache(4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		_, _, err := c.do(context.Background(), col, "k", func() (response, bool, error) {
+			close(entered)
+			<-release
+			return response{status: 200, contentType: "text/plain", body: []byte("v")}, true, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-entered
+
+	expired, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-expired.Done()
+	if _, joined, err := c.do(expired, col, "k", fillOK("never")); !joined || err == nil {
+		t.Fatalf("expired waiter: joined=%v err=%v, want a join abort error", joined, err)
+	}
+	snap := col.Snapshot()
+	if h, a := snap.Counter("server.cache.hits"), snap.Counter("server.cache.join_aborts"); h != 0 || a != 1 {
+		t.Fatalf("expired waiter counted as hits=%d aborts=%d, want 0/1", h, a)
+	}
+
+	close(release)
+	<-ownerDone
+	// The same expired context now finds a completed entry: a hit.
+	if resp, joined, err := c.do(expired, col, "k", fillOK("never")); !joined || err != nil || string(resp.body) != "v" {
+		t.Fatalf("completed entry under expired ctx: joined=%v err=%v body=%q", joined, err, resp.body)
+	}
+	snap = col.Snapshot()
+	if h, m, a := snap.Counter("server.cache.hits"), snap.Counter("server.cache.misses"), snap.Counter("server.cache.join_aborts"); h != 1 || m != 1 || a != 1 {
+		t.Fatalf("final counts hits=%d misses=%d aborts=%d, want 1/1/1", h, m, a)
+	}
+}
+
+// TestCacheImportEntries: imported entries replay as hits, live keys
+// win over imports, and imports respect capacity (least recently used
+// imports evicted first).
+func TestCacheImportEntries(t *testing.T) {
+	ctx := context.Background()
+	col := obs.NewCollector()
+	c := newRespCache(4)
+	if _, _, err := c.do(ctx, col, "live", fillOK("local")); err != nil {
+		t.Fatal(err)
+	}
+	added := c.importEntries([]cachesnap.ResponseEntry{
+		{Key: "live", Status: 200, ContentType: "text/plain", Body: []byte("imported-shadow")},
+		{Key: "warm", Status: 200, ContentType: "text/plain", Body: []byte("warm-body")},
+		{Key: "", Status: 200, Body: []byte("keyless")},
+		{Key: "zero-status", Body: []byte("no status")},
+	})
+	if added != 1 {
+		t.Fatalf("imported %d entries, want only the valid new one", added)
+	}
+	// The live entry's own body survives the shadowing import.
+	if resp, hit, _ := c.do(ctx, col, "live", fillOK("never")); !hit || string(resp.body) != "local" {
+		t.Fatalf("live entry after import: hit=%v body=%q", hit, resp.body)
+	}
+	// The imported entry replays without filling.
+	if resp, hit, _ := c.do(ctx, col, "warm", fillOK("never")); !hit || string(resp.body) != "warm-body" {
+		t.Fatalf("imported entry: hit=%v body=%q", hit, resp.body)
+	}
+
+	// Capacity: importing more than fits keeps live + most recent
+	// imports; the tail of the import order is evicted.
+	small := newRespCache(2)
+	if _, _, err := small.do(ctx, col, "mine", fillOK("mine")); err != nil {
+		t.Fatal(err)
+	}
+	small.importEntries([]cachesnap.ResponseEntry{
+		{Key: "mru", Status: 200, Body: []byte("1")},
+		{Key: "lru", Status: 200, Body: []byte("2")},
+	})
+	if small.LenCompleted() != 2 {
+		t.Fatalf("import overflowed capacity: %d completed", small.LenCompleted())
+	}
+	if _, hit, _ := small.do(ctx, col, "mine", fillOK("never")); !hit {
+		t.Fatal("live entry evicted by import")
+	}
+	if _, hit, _ := small.do(ctx, col, "lru", fillOK("recomputed")); hit {
+		t.Fatal("over-capacity import tail survived")
 	}
 }
 

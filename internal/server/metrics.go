@@ -31,6 +31,16 @@ func renderMetrics(s obs.Summary, inflight, queued, jobsRunning, jobsQueued int6
 			fmt.Fprintf(&b, "ooc_response_cache_hits_total %d\n", c.Value)
 		case c.Name == "server.cache.misses":
 			fmt.Fprintf(&b, "ooc_response_cache_misses_total %d\n", c.Value)
+		case c.Name == "server.cache.join_aborts":
+			fmt.Fprintf(&b, "ooc_response_cache_join_aborts_total %d\n", c.Value)
+		case c.Name == "server.cache.snapshot.exports":
+			fmt.Fprintf(&b, "ooc_cache_snapshot_exports_total %d\n", c.Value)
+		case c.Name == "server.cache.snapshot.imports":
+			fmt.Fprintf(&b, "ooc_cache_snapshot_imports_total %d\n", c.Value)
+		case c.Name == "server.cache.import.responses":
+			fmt.Fprintf(&b, "ooc_cache_imported_entries_total{cache=\"response\"} %d\n", c.Value)
+		case c.Name == "server.cache.import.xsections":
+			fmt.Fprintf(&b, "ooc_cache_imported_entries_total{cache=\"xsection\"} %d\n", c.Value)
 		case c.Name == "jobs.submitted":
 			fmt.Fprintf(&b, "ooc_jobs_submitted_total %d\n", c.Value)
 		case c.Name == "jobs.rejected":
@@ -74,6 +84,7 @@ func renderMetrics(s obs.Summary, inflight, queued, jobsRunning, jobsQueued int6
 
 	fmt.Fprintf(&b, "ooc_xsection_cache_hits_total %d\n", s.CacheHits)
 	fmt.Fprintf(&b, "ooc_xsection_cache_misses_total %d\n", s.CacheMisses)
+	fmt.Fprintf(&b, "ooc_xsection_cache_join_aborts_total %d\n", s.CacheJoinAborts)
 
 	for _, d := range s.Degradations {
 		fmt.Fprintf(&b, "ooc_degradations_total{reason=%q} %d\n", d.Reason, d.Count)

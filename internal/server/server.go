@@ -32,6 +32,10 @@
 //	GET    /v1/jobs             list retained jobs
 //	GET    /v1/jobs/{id}        poll progress / final result
 //	DELETE /v1/jobs/{id}        cancel cooperatively
+//	GET  /v1/cache              export both caches as a versioned
+//	                            snapshot (peer fill / warm restarts)
+//	PUT  /v1/cache              import a snapshot; 409 on a version or
+//	                            schema mismatch, 400 on corruption
 //	GET  /healthz               liveness
 //	GET  /metrics               text metrics exposition
 package server
@@ -170,6 +174,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("/v1/cache", s.handleCache)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s

@@ -303,29 +303,35 @@ func TestSingleflight(t *testing.T) {
 
 	var wg sync.WaitGroup
 	statuses := make([]int, n)
-	for i := 0; i < n; i++ {
+	fire := func(i int) {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
 			resp, raw := post(t, ts.Client(), ts.URL+"/v1/design", body, nil)
 			statuses[i] = resp.StatusCode
 			_ = raw
-		}(i)
+		}()
 	}
-	// Wait until every request has reached the cache (the owner is
-	// blocked on the gate inside the solve; joiners are waiting on the
-	// entry), then release the solve.
+	// Let the first request own the singleflight slot before the rest
+	// arrive: a miss is counted only after the slot is installed, so
+	// once it shows the others can only join (or, post-completion, hit)
+	// that entry — never start a second solve. Joined waiters are not
+	// observable through the counters any more (a join is counted as a
+	// hit only once the waiter actually receives the owner's result —
+	// counting at join time was the accounting bug this pins against),
+	// so the followers simply block on the entry until the gate opens.
+	fire(0)
 	deadline := time.Now().Add(5 * time.Second)
-	for {
-		snap := s.Collector().Snapshot()
-		if snap.Counter("server.cache.hits")+snap.Counter("server.cache.misses") >= n {
-			break
-		}
+	for s.Collector().Snapshot().Counter("server.cache.misses") == 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("requests never reached the cache: %+v", snap.Counters)
+			t.Fatal("owner request never reached the cache")
 		}
 		time.Sleep(time.Millisecond)
 	}
+	for i := 1; i < n; i++ {
+		fire(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let the followers join in flight
 	close(gate)
 	wg.Wait()
 
@@ -340,6 +346,9 @@ func TestSingleflight(t *testing.T) {
 	snap := s.Collector().Snapshot()
 	if snap.Counter("server.cache.misses") != 1 || snap.Counter("server.cache.hits") != n-1 {
 		t.Fatalf("cache counters: %+v", snap.Counters)
+	}
+	if snap.Counter("server.cache.join_aborts") != 0 {
+		t.Fatalf("no waiter expired, yet join_aborts = %d", snap.Counter("server.cache.join_aborts"))
 	}
 }
 

@@ -91,8 +91,10 @@ func ResetCrossSectionCache() {
 	crossSectionCache.m = make(map[crossSectionKey]*csEntry)
 }
 
-// CrossSectionCacheSize reports the number of memoized solves
-// (completed or in flight).
+// CrossSectionCacheSize reports the number of cache slots, completed
+// *and* in flight. Snapshot export must not count singleflight slots
+// that hold no value yet — use CrossSectionCacheSizeCompleted for the
+// serializable population.
 func CrossSectionCacheSize() int {
 	crossSectionCache.Lock()
 	defer crossSectionCache.Unlock()
@@ -117,13 +119,29 @@ func normalizedIntegral(ctx context.Context, key crossSectionKey) (float64, erro
 	crossSectionCache.Lock()
 	if e, ok := crossSectionCache.m[key]; ok {
 		crossSectionCache.Unlock()
-		obs.FromContext(ctx).RecordCacheHit()
+		// A completed entry is a hit no matter what state ctx is in:
+		// without this fast path the select below would choose randomly
+		// between a ready done and a ready ctx.Done(), making the
+		// hit/abort split schedule-dependent for expired contexts.
 		select {
 		case <-e.done:
+			obs.FromContext(ctx).RecordCacheHit()
+			return e.val, e.err
+		default:
+		}
+		select {
+		case <-e.done:
+			// Only now is this a hit: the waiter actually received the
+			// memoized result. Recording the hit before the select used
+			// to count ctx-expired waiters as hits, inflating the hit
+			// rate -stats and /metrics report and making the counter
+			// schedule-dependent under deadline pressure.
+			obs.FromContext(ctx).RecordCacheHit()
 			return e.val, e.err
 		case <-ctx.Done():
 			// The owning solve keeps running under its own context; this
-			// waiter just stops waiting for it.
+			// waiter just stops waiting for it — a join abort, not a hit.
+			obs.FromContext(ctx).RecordCacheJoinAbort()
 			return 0, fmt.Errorf("sim: waiting for cross-section solve: %w", ctx.Err())
 		}
 	}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"ooc/internal/cachesnap"
+)
+
+// schemeSpellings pairs the private cache-key scheme enum with the
+// self-describing spellings used by the snapshot format. The set is
+// pinned by cachesnap's schema hash: renaming or extending it must
+// bump the schema descriptor there.
+var schemeSpellings = [...]struct {
+	scheme solveScheme
+	name   string
+}{
+	{schemeFDMSOR, "sor"},
+	{schemeFDMMG, "mg"},
+}
+
+// schemeSpelling returns the snapshot spelling of a scheme.
+func schemeSpelling(scheme solveScheme) string {
+	for _, sp := range schemeSpellings {
+		if sp.scheme == scheme {
+			return sp.name
+		}
+	}
+	return ""
+}
+
+// schemeFromSpelling is the inverse of schemeSpelling.
+func schemeFromSpelling(name string) (solveScheme, bool) {
+	for _, sp := range schemeSpellings {
+		if sp.name == name {
+			return sp.scheme, true
+		}
+	}
+	return 0, false
+}
+
+// ExportCrossSectionCache returns every *completed, successful*
+// cross-section solve as snapshot entries, sorted by (aspect, n,
+// scheme) so identical cache states export identical slices. In-flight
+// slots are skipped: their values do not exist yet, and serializing a
+// waiter's slot would resurrect it as a bogus completed entry on
+// import. Failed solves never stay in the cache at all (the owner
+// removes its slot), so exports contain values only.
+func ExportCrossSectionCache() []cachesnap.CrossSectionEntry {
+	crossSectionCache.Lock()
+	defer crossSectionCache.Unlock()
+	entries := make([]cachesnap.CrossSectionEntry, 0, len(crossSectionCache.m))
+	for key, e := range crossSectionCache.m {
+		select {
+		case <-e.done:
+			// Completed: the owner stored val/err before closing done,
+			// so the receive above orders this read after those writes.
+		default:
+			continue // in flight — never serialized
+		}
+		if e.err != nil {
+			// An error slot caught between completion and the owner's
+			// removal; defensively excluded (errors are never cached).
+			continue
+		}
+		entries = append(entries, cachesnap.CrossSectionEntry{
+			Aspect: key.aspect,
+			N:      key.n,
+			Scheme: schemeSpelling(key.scheme),
+			Value:  e.val,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		//ooclint:ignore floatcmp sort key: exact ordering over distinct cache-key bits
+		if a.Aspect != b.Aspect {
+			return a.Aspect < b.Aspect
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.Scheme < b.Scheme
+	})
+	return entries
+}
+
+// ImportCrossSectionCache installs snapshot entries as completed cache
+// slots and reports how many were added. Entries are re-validated one
+// by one — a snapshot may arrive over the network, and a value that
+// violates the solver's own invariants (aspect < 1, n < 8, a
+// non-positive or non-finite integral, an unknown scheme) is skipped
+// rather than trusted. Keys already present (completed or in flight)
+// are left untouched: the live process's entry wins over the imported
+// one, and an in-flight owner must never have its slot replaced
+// beneath it.
+func ImportCrossSectionCache(entries []cachesnap.CrossSectionEntry) int {
+	crossSectionCache.Lock()
+	defer crossSectionCache.Unlock()
+	added := 0
+	for _, ent := range entries {
+		scheme, ok := schemeFromSpelling(ent.Scheme)
+		if !ok {
+			continue
+		}
+		if ent.Aspect < 1 || math.IsInf(ent.Aspect, 0) || math.IsNaN(ent.Aspect) {
+			continue
+		}
+		if ent.N < 8 {
+			continue
+		}
+		if !(ent.Value > 0) || math.IsInf(ent.Value, 0) {
+			continue
+		}
+		key := crossSectionKey{aspect: ent.Aspect, n: ent.N, scheme: scheme}
+		if _, exists := crossSectionCache.m[key]; exists {
+			continue
+		}
+		done := make(chan struct{})
+		close(done)
+		crossSectionCache.m[key] = &csEntry{done: done, val: ent.Value}
+		added++
+	}
+	return added
+}
+
+// CrossSectionCacheSizeCompleted reports the number of completed
+// memoized solves — the entries ExportCrossSectionCache would
+// serialize. CrossSectionCacheSize also counts in-flight singleflight
+// slots, so the two differ exactly while solves are running.
+func CrossSectionCacheSizeCompleted() int {
+	crossSectionCache.Lock()
+	defer crossSectionCache.Unlock()
+	n := 0
+	for _, e := range crossSectionCache.m {
+		select {
+		case <-e.done:
+			n++
+		default:
+		}
+	}
+	return n
+}

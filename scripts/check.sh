@@ -89,6 +89,39 @@ stats_smoke() {
 }
 step stats-smoke stats_smoke
 
+# start_oocd <logfile> [oocd flags...]: boot the daemon, wait for its
+# listen line, and export OOCD_PID/ADDR. stop_oocd drains it with
+# SIGTERM and fails if it has not exited within 2s.
+start_oocd() {
+    _log=$1
+    shift
+    "$WORK/oocd" "$@" > "$_log" 2>&1 &
+    OOCD_PID=$!
+    ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR=$(sed -n 's/^oocd: listening on //p' "$_log")
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || {
+        echo "oocd never reported its listen address" >&2
+        cat "$_log" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+}
+
+stop_oocd() {
+    kill -TERM "$OOCD_PID"
+    ( sleep 2; kill -KILL "$OOCD_PID" 2>/dev/null ) &
+    KILLER_PID=$!
+    wait "$OOCD_PID" || {
+        echo "oocd did not exit cleanly within 2s of SIGTERM" >&2
+        return 1
+    }
+    kill "$KILLER_PID" 2>/dev/null || true
+}
+
 # Daemon smoke: oocd on an ephemeral port must answer /healthz, solve
 # one /v1/design, show the request in /metrics (all probed by
 # oocload -smoke, no curl needed), and drain cleanly within 2s of
@@ -96,20 +129,7 @@ step stats-smoke stats_smoke
 oocd_smoke() {
     go build -o "$WORK/oocd" ./cmd/oocd
     go build -o "$WORK/oocload" ./cmd/oocload
-    "$WORK/oocd" -addr 127.0.0.1:0 > "$WORK/oocd.out" 2>&1 &
-    OOCD_PID=$!
-    ADDR=""
-    for _ in $(seq 1 50); do
-        ADDR=$(sed -n 's/^oocd: listening on //p' "$WORK/oocd.out")
-        [ -n "$ADDR" ] && break
-        sleep 0.1
-    done
-    [ -n "$ADDR" ] || {
-        echo "oocd never reported its listen address" >&2
-        cat "$WORK/oocd.out" >&2
-        kill "$OOCD_PID" 2>/dev/null || true
-        return 1
-    }
+    start_oocd "$WORK/oocd.out" -addr 127.0.0.1:0 || return 1
     "$WORK/oocload" -url "http://$ADDR" -smoke || {
         echo "oocd smoke probe failed" >&2
         kill "$OOCD_PID" 2>/dev/null || true
@@ -124,16 +144,82 @@ oocd_smoke() {
         kill "$OOCD_PID" 2>/dev/null || true
         return 1
     }
-    kill -TERM "$OOCD_PID"
-    ( sleep 2; kill -KILL "$OOCD_PID" 2>/dev/null ) &
-    KILLER_PID=$!
-    wait "$OOCD_PID" || {
-        echo "oocd did not exit cleanly within 2s of SIGTERM" >&2
-        return 1
-    }
-    kill "$KILLER_PID" 2>/dev/null || true
+    stop_oocd
 }
 step oocd-smoke oocd_smoke
+
+# Warm-boot smoke: a daemon killed and restarted with -cache-snapshot
+# must serve a previously-seen spec straight from the restored cache —
+# the first request after restart is a response-cache hit, with zero
+# misses and zero solver iterations, all pinned through /metrics. A
+# corrupt snapshot must be rejected with a clear message while the
+# daemon still starts (cold) and serves.
+snapshot_smoke() {
+    SNAP="$WORK/cache.oocsnap"
+
+    # Populate: one numeric validate (exercises the solver), drain on
+    # SIGTERM persists the snapshot.
+    start_oocd "$WORK/snap1.out" -addr 127.0.0.1:0 -cache-snapshot "$SNAP" || return 1
+    "$WORK/oocload" -url "http://$ADDR" -n 1 -c 1 -endpoint validate -model numeric || {
+        echo "populate request failed" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    stop_oocd || return 1
+    [ -f "$SNAP" ] || {
+        echo "oocd drain did not persist $SNAP" >&2
+        cat "$WORK/snap1.out" >&2
+        return 1
+    }
+
+    # Warm restart: the same request must be a hit without solving.
+    start_oocd "$WORK/snap2.out" -addr 127.0.0.1:0 -cache-snapshot "$SNAP" || return 1
+    grep -q "restored" "$WORK/snap2.out" || {
+        echo "warm boot did not report a restored snapshot:" >&2
+        cat "$WORK/snap2.out" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    "$WORK/oocload" -url "http://$ADDR" -n 1 -c 1 -endpoint validate -model numeric || {
+        echo "warm request failed" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    "$WORK/oocload" -url "http://$ADDR" -metrics > "$WORK/snap-metrics.txt" || {
+        echo "metrics fetch failed" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    # Counters materialize on first increment, so a warm daemon that
+    # never missed and never solved must show hits == 1 and *no*
+    # misses or solver-iteration lines at all.
+    if ! grep -q "^ooc_response_cache_hits_total 1$" "$WORK/snap-metrics.txt" \
+        || grep -q "^ooc_response_cache_misses_total" "$WORK/snap-metrics.txt" \
+        || grep -q "^ooc_solver_iterations_total" "$WORK/snap-metrics.txt"; then
+        echo "warm boot did not serve the request from the restored cache:" >&2
+        grep "cache\|solver" "$WORK/snap-metrics.txt" >&2 || true
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    fi
+    stop_oocd || return 1
+
+    # A corrupt snapshot is rejected loudly and the daemon starts cold.
+    printf 'definitely not a snapshot' > "$SNAP"
+    start_oocd "$WORK/snap3.out" -addr 127.0.0.1:0 -cache-snapshot "$SNAP" -snapshot-interval 0 || return 1
+    grep -q "rejected" "$WORK/snap3.out" && grep -q "starting cold" "$WORK/snap3.out" || {
+        echo "corrupt snapshot was not rejected with a clear message:" >&2
+        cat "$WORK/snap3.out" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    "$WORK/oocload" -url "http://$ADDR" -smoke || {
+        echo "daemon with rejected snapshot did not serve" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    stop_oocd
+}
+step snapshot-smoke snapshot_smoke
 
 echo "== check.sh step timings =="
 cat "$TIMINGS"
