@@ -17,9 +17,11 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"ooc"
 	"ooc/internal/core"
+	"ooc/internal/dyn"
 	"ooc/internal/eval"
 	"ooc/internal/fluid"
 	"ooc/internal/linalg"
@@ -54,6 +56,32 @@ func BenchmarkFig4MaleSimple(b *testing.B) {
 	if b.N == 1 {
 		b.Logf("\n%s", report.FormatFig4(rep))
 	}
+}
+
+// BenchmarkDynamic times the transient tier on the Fig. 4 chip: a
+// 1-second pulsatile dosed run (backward-Euler pressures + CFL-bounded
+// species advection). Reported metrics: integrator steps and the
+// species mass-balance defect.
+func BenchmarkDynamic(b *testing.B) {
+	in := usecases.Fig4Instance()
+	d, err := core.Generate(in.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := sim.Options{Model: sim.ModelDynamic, Dynamic: sim.DefaultDynamicOptions()}
+	opt.Dynamic.Duration = time.Second
+	opt.Dynamic.Profile = dyn.Profile{Kind: dyn.ProfilePulse, Amplitude: 0.5, Period: 0.25}
+	opt.Dynamic.Species = dyn.Species{Enabled: true, DoseConcentration: 1, DoseDuration: 1, ArrivalThreshold: 0.1}
+	var dr *sim.DynamicReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dr, err = sim.ValidateDynamic(d, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dr.Steps), "steps")
+	b.ReportMetric(dr.MassBalanceError, "mass-defect")
 }
 
 // BenchmarkTableI regenerates the entire Table I evaluation: all eight

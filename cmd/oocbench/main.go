@@ -89,7 +89,13 @@ func (c config) simOptions() (sim.Options, error) {
 	if err != nil {
 		return sim.Options{}, fmt.Errorf("-model: %w (or auto)", err)
 	}
-	return sim.Options{Model: m, Scheme: scheme}, nil
+	opt := sim.Options{Model: m, Scheme: scheme}
+	if m == sim.ModelDynamic {
+		// The benchmark compares settled final states, so the documented
+		// transient defaults are the right configuration.
+		opt.Dynamic = sim.DefaultDynamicOptions()
+	}
+	return opt, nil
 }
 
 func main() {
@@ -102,7 +108,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool size for the grid evaluation (0 = GOMAXPROCS)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "overall deadline for the run (0 = none); on expiry partial results are flushed and the exit status is nonzero")
 	flag.BoolVar(&cfg.stats, "stats", false, "print solver/cache telemetry after the report (selects the numeric resistance model under -model auto)")
-	flag.StringVar(&cfg.model, "model", "auto", "validation resistance model: auto, exact, approx or numeric")
+	flag.StringVar(&cfg.model, "model", "auto", "validation resistance model: auto or one of "+sim.ModelNames)
 	flag.StringVar(&cfg.scheme, "scheme", "auto", "Poisson backend for the numeric model: auto, sor or mg")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit a machine-readable benchmark document (grid rows + solver/cache telemetry) instead of the report")
 	flag.StringVar(&cfg.diffPath, "diff", "", "compare a fresh -json run against the baseline document at this path; exit nonzero on regression")

@@ -181,6 +181,7 @@ func TestModelFlagValidation(t *testing.T) {
 		{model: "exact", stats: true, want: sim.ModelExact}, // explicit model beats -stats
 		{model: "approx", want: sim.ModelApprox},
 		{model: "numeric", want: sim.ModelNumeric},
+		{model: "dynamic", want: sim.ModelDynamic},
 		{model: "bogus", wantErr: true},
 		{model: "Numeric", wantErr: true},
 	}
@@ -202,6 +203,11 @@ func TestModelFlagValidation(t *testing.T) {
 		}
 		if opt.Model != tc.want {
 			t.Errorf("model %q stats=%v: got %v want %v", tc.model, tc.stats, opt.Model, tc.want)
+		}
+		if tc.want == sim.ModelDynamic {
+			if err := opt.Dynamic.Validate(); err != nil {
+				t.Errorf("model %q: dynamic options not populated: %v", tc.model, err)
+			}
 		}
 	}
 }

@@ -20,6 +20,10 @@
 //
 // ?scheme= picks the Poisson backend behind the numeric model (auto,
 // sor or mg); requests without it use the -scheme flag's default.
+// ?model=dynamic selects the transient tier and adds ?duration=,
+// ?profile= (constant, ramp:<rise>, pulse:<depth>@<period>) and
+// ?dose=; a simulated span that cannot fit the request's deadline
+// budget is rejected up front with 400.
 //
 // -cache-snapshot makes the caches survive restarts: the daemon loads
 // the snapshot file at boot (a missing file starts cold quietly; a

@@ -20,6 +20,7 @@
 //	oocload -targets http://localhost:8080,http://localhost:8081 -distinct
 //	oocload -url http://localhost:8080 -smoke     # health+design+metrics probe
 //	oocload -url http://localhost:8080 -jobs      # async /v1/jobs search probe
+//	oocload -url http://localhost:8080 -dynamic   # transient-tier probe incl. budget rejection
 //	oocload -url http://localhost:8080 -metrics   # dump /metrics to stdout
 package main
 
@@ -52,6 +53,7 @@ type config struct {
 	distinct bool
 	smoke    bool
 	jobs     bool
+	dynamic  bool
 	metrics  bool
 }
 
@@ -67,6 +69,7 @@ func main() {
 	flag.BoolVar(&cfg.distinct, "distinct", false, "rotate through all built-in use cases (defeats the response cache)")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "probe /healthz, one /v1/design and /metrics on every target, then exit")
 	flag.BoolVar(&cfg.jobs, "jobs", false, "submit a successive-halving search job, poll it to completion, assert a feasible best, then exit")
+	flag.BoolVar(&cfg.dynamic, "dynamic", false, "probe the transient tier: one short dynamic validation must succeed and an over-budget duration must be rejected up front, then exit")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print every target's /metrics exposition to stdout, then exit")
 	flag.Parse()
 
@@ -93,6 +96,8 @@ func main() {
 		}
 	case cfg.jobs:
 		err = jobsProbe(targets[0], cfg.spec)
+	case cfg.dynamic:
+		err = dynamicProbe(targets[0], cfg.spec)
 	default:
 		err = run(cfg, targets, path)
 	}
@@ -343,6 +348,62 @@ func smoke(base string) error {
 		return fmt.Errorf("metrics: exposition lacks %q:\n%s", want, raw)
 	}
 	fmt.Println("oocload: smoke ok")
+	return nil
+}
+
+// dynamicProbe exercises the transient tier over HTTP: a short
+// pulsatile dosed run must answer 200 with a non-empty time series,
+// and a simulated span that cannot fit the deadline budget must be
+// rejected up front with a 400 — not accepted and then timed out.
+func dynamicProbe(base, spec string) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	uc, err := usecases.ByName(spec)
+	if err != nil {
+		return err
+	}
+	body, err := specio.Marshal(uc.Build())
+	if err != nil {
+		return err
+	}
+
+	resp, err := client.Post(base+"/v1/validate?model=dynamic&duration=500ms&profile=pulse:0.5@250ms&dose=1",
+		"application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("dynamic validate: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("dynamic validate: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dynamic validate: status %d body %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Steps         int       `json:"steps"`
+		TimesS        []float64 `json:"times_s"`
+		ArrivalTimesS []float64 `json:"arrival_times_s"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return fmt.Errorf("dynamic validate: %w", err)
+	}
+	if out.Steps <= 0 || len(out.TimesS) < 2 {
+		return fmt.Errorf("dynamic validate: empty series (steps=%d samples=%d)", out.Steps, len(out.TimesS))
+	}
+	if len(out.ArrivalTimesS) == 0 {
+		return fmt.Errorf("dynamic validate: dosed run reported no arrival times: %s", raw)
+	}
+
+	status, err := post(client, base+"/v1/validate?model=dynamic&duration=24h&timeout=1s", body)
+	if err != nil {
+		return fmt.Errorf("over-budget dynamic validate: %w", err)
+	}
+	if status != http.StatusBadRequest {
+		return fmt.Errorf("over-budget dynamic validate: status %d, want %d", status, http.StatusBadRequest)
+	}
+	fmt.Printf("oocload: dynamic probe ok: %d steps, %d samples, budget rejection enforced\n", out.Steps, len(out.TimesS))
 	return nil
 }
 

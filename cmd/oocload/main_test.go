@@ -24,6 +24,7 @@ func TestModelFlagValidation(t *testing.T) {
 		{"validate", "exact", "/v1/validate?model=exact", false},
 		{"validate", "approx", "/v1/validate?model=approx", false},
 		{"validate", "numeric", "/v1/validate?model=numeric", false},
+		{"validate", "dynamic", "/v1/validate?model=dynamic", false},
 		{"validate", "", "/v1/validate?model=exact", false},
 		{"validate", "spectral", "", true},
 		{"validate", "NUMERIC", "", true},
@@ -118,6 +119,20 @@ func TestJobsProbe(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := jobsProbe(ts.URL, "not_a_usecase"); err == nil {
+		t.Fatal("unknown use case: expected an error")
+	}
+}
+
+// TestDynamicProbe: the -dynamic mode runs one short transient
+// validation and asserts the over-budget rejection against an
+// in-process daemon.
+func TestDynamicProbe(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	if err := dynamicProbe(ts.URL, "male_simple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dynamicProbe(ts.URL, "not_a_usecase"); err == nil {
 		t.Fatal("unknown use case: expected an error")
 	}
 }

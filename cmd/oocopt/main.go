@@ -70,7 +70,7 @@ func main() {
 	flag.StringVar(&cfg.specPath, "spec", "", "path to a JSON specification file")
 	flag.StringVar(&cfg.objective, "objective", "area", "objective to minimize: area, pressure or flow")
 	flag.StringVar(&cfg.strategy, "strategy", "grid", "search strategy: grid or halving")
-	flag.StringVar(&cfg.model, "model", "exact", "full-fidelity resistance model: exact, approx or numeric")
+	flag.StringVar(&cfg.model, "model", "exact", "full-fidelity resistance model: "+sim.ModelNames)
 	flag.StringVar(&cfg.scheme, "scheme", "auto", "Poisson backend for the numeric model: auto, sor or mg")
 	flag.IntVar(&cfg.resolution, "resolution", 0, "numeric model cross-section resolution (0 = 32)")
 	flag.StringVar(&cfg.heights, "heights", "", "comma-separated candidate channel heights in µm (default 100,125,150,175,200)")
@@ -161,6 +161,11 @@ func searchOptions(cfg config) (optimize.Options, error) {
 	}
 	if opt.Sim.Model, err = sim.ParseModel(cfg.model); err != nil {
 		return optimize.Options{}, err
+	}
+	if opt.Sim.Model == sim.ModelDynamic {
+		// The search scores settled final states, so the documented
+		// transient defaults are the right configuration.
+		opt.Sim.Dynamic = sim.DefaultDynamicOptions()
 	}
 	if opt.Sim.Scheme, err = sim.ParseScheme(cfg.scheme); err != nil {
 		return optimize.Options{}, err

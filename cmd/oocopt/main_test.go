@@ -24,6 +24,21 @@ func TestFlagValidation(t *testing.T) {
 		t.Fatalf("defaults resolved wrong: %+v", opt)
 	}
 
+	// The dynamic model resolves with populated (validating) transient
+	// options — a search must never trip the zero-sentinel check.
+	dcfg := base
+	dcfg.model = "dynamic"
+	dopt, err := searchOptions(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dopt.Sim.Model != sim.ModelDynamic {
+		t.Fatalf("model = %v, want dynamic", dopt.Sim.Model)
+	}
+	if err := dopt.Sim.Dynamic.Validate(); err != nil {
+		t.Fatalf("dynamic options not populated: %v", err)
+	}
+
 	for _, tc := range []struct {
 		mutate func(*config)
 		names  string

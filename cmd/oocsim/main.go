@@ -9,11 +9,18 @@
 // -model numeric a deadline degrades per-channel to the analytic
 // exact resistance instead of failing; degraded channels are listed.
 //
+// Under -model dynamic the steady solve is replaced by the transient
+// tier (internal/dyn): pressures and flows evolve from rest under a
+// pump profile, optionally transporting a dosed species from the inlet
+// through the organ chain. The report gains a time-series table (or
+// the full series as CSV with -csv).
+//
 // Usage:
 //
 //	oocsim chip.json
 //	oocsim -model approx -no-bends -no-junctions chip.json   # self-consistency check
 //	oocsim -model numeric -timeout 30s -stats chip.json      # CFD-lite with telemetry
+//	oocsim -model dynamic -duration 2s -pump-profile pulse:0.5@500ms -dose 1 chip.json
 package main
 
 import (
@@ -24,7 +31,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"ooc/internal/dyn"
 	"ooc/internal/obs"
 	"ooc/internal/render"
 	"ooc/internal/report"
@@ -32,12 +41,19 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "exact", "resistance model: exact, approx or numeric")
+	def := sim.DefaultDynamicOptions()
+	model := flag.String("model", "exact", "resistance model: "+sim.ModelNames)
 	scheme := flag.String("scheme", "auto", "Poisson backend for the numeric model: auto, sor or mg")
 	noBends := flag.Bool("no-bends", false, "disable meander bend losses")
 	noJunctions := flag.Bool("no-junctions", false, "disable T-junction losses")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the validation (0 = none)")
 	stats := flag.Bool("stats", false, "print solver telemetry after the report")
+	duration := flag.Duration("duration", def.Duration, "dynamic model: simulated time span")
+	maxStep := flag.Duration("max-step", def.MaxStep, "dynamic model: adaptive integrator step cap")
+	sampleEvery := flag.Duration("sample-every", def.SampleEvery, "dynamic model: output sample cadence")
+	profile := flag.String("pump-profile", "constant", "dynamic model: pump drive shape ("+dyn.ProfileNames+")")
+	dose := flag.Float64("dose", 0, "dynamic model: inlet dose concentration; 0 disables species transport")
+	csv := flag.Bool("csv", false, "dynamic model: print the full time series as CSV instead of the report")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -48,6 +64,9 @@ func main() {
 	// -scheme is a usage error (exit 2 with the valid spellings), not a
 	// late runtime failure after the design was already parsed.
 	opt, err := modelOptions(*model, *scheme, *noBends, *noJunctions)
+	if err == nil && opt.Model == sim.ModelDynamic {
+		opt.Dynamic, err = dynamicOptions(*duration, *maxStep, *sampleEvery, *profile, *dose)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocsim:", err)
 		fmt.Fprintf(os.Stderr, "usage: oocsim [-model {%s}] [-scheme {%s}] [flags] design.json\n", sim.ModelNames, sim.SchemeNames)
@@ -67,7 +86,7 @@ func main() {
 		ctx = obs.WithCollector(ctx, col)
 	}
 
-	err = run(ctx, flag.Arg(0), opt)
+	err = run(ctx, flag.Arg(0), opt, *csv)
 	if col != nil {
 		// Telemetry covers whatever ran, including aborted solves.
 		fmt.Print(col.Snapshot().Format())
@@ -97,7 +116,34 @@ func modelOptions(model, scheme string, noBends, noJunctions bool) (sim.Options,
 	}, nil
 }
 
-func run(ctx context.Context, path string, opt sim.Options) error {
+// dynamicOptions resolves the transient-tier flags; a -dose above zero
+// enables species transport, dosed at the inlet for the whole run.
+func dynamicOptions(duration, maxStep, sampleEvery time.Duration, profile string, dose float64) (sim.DynamicOptions, error) {
+	o := sim.DefaultDynamicOptions()
+	o.Duration = duration
+	o.MaxStep = maxStep
+	o.SampleEvery = sampleEvery
+	p, err := dyn.ParseProfile(profile)
+	if err != nil {
+		return o, err
+	}
+	o.Profile = p
+	if dose < 0 {
+		return o, fmt.Errorf("-dose must be non-negative, got %g", dose)
+	}
+	if dose > 0 {
+		o.Species = dyn.Species{
+			Enabled:           true,
+			DoseConcentration: dose,
+			DoseStart:         0,
+			DoseDuration:      duration.Seconds(),
+			ArrivalThreshold:  0.1,
+		}
+	}
+	return o, o.Validate()
+}
+
+func run(ctx context.Context, path string, opt sim.Options, csv bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -105,6 +151,18 @@ func run(ctx context.Context, path string, opt sim.Options) error {
 	design, err := render.ParseJSON(raw)
 	if err != nil {
 		return err
+	}
+	if opt.Model == sim.ModelDynamic {
+		dr, err := sim.ValidateDynamicContext(ctx, design, opt)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(report.DynamicCSV(dr))
+		} else {
+			fmt.Print(report.FormatDynamic(dr))
+		}
+		return nil
 	}
 	rep, err := sim.ValidateContext(ctx, design, opt)
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"ooc/internal/sim"
 )
@@ -19,6 +20,7 @@ func TestModelFlagValidation(t *testing.T) {
 		{model: "exact", want: sim.ModelExact},
 		{model: "approx", want: sim.ModelApprox},
 		{model: "numeric", want: sim.ModelNumeric},
+		{model: "dynamic", want: sim.ModelDynamic},
 		{model: "", want: sim.ModelExact}, // flag default semantics
 		{model: "bogus", wantErr: true},
 		{model: "EXACT", wantErr: true}, // spellings are case-sensitive
@@ -85,5 +87,46 @@ func TestSchemeFlagValidation(t *testing.T) {
 		if opt.Scheme != tc.want {
 			t.Errorf("scheme %q: got %v want %v", tc.scheme, opt.Scheme, tc.want)
 		}
+	}
+}
+
+// TestDynamicFlagValidation: the transient-tier flags resolve into
+// validated DynamicOptions — malformed profiles and non-positive
+// durations are usage errors, and -dose switches species transport on.
+func TestDynamicFlagValidation(t *testing.T) {
+	def := sim.DefaultDynamicOptions()
+	cases := []struct {
+		name    string
+		dur     time.Duration
+		profile string
+		dose    float64
+		wantErr string
+	}{
+		{name: "defaults", dur: def.Duration, profile: "constant"},
+		{name: "pulse with dose", dur: 2 * time.Second, profile: "pulse:0.5@500ms", dose: 1},
+		{name: "ramp", dur: time.Second, profile: "ramp:250ms"},
+		{name: "zero duration", dur: 0, profile: "constant", wantErr: "duration"},
+		{name: "bad profile", dur: time.Second, profile: "square:1s", wantErr: "profile"},
+		{name: "negative dose", dur: time.Second, profile: "constant", dose: -1, wantErr: "dose"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := dynamicOptions(tc.dur, def.MaxStep, def.SampleEvery, tc.profile, tc.dose)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Duration != tc.dur {
+				t.Errorf("duration %v, want %v", o.Duration, tc.dur)
+			}
+			if got := o.Species.Enabled; got != (tc.dose > 0) {
+				t.Errorf("species enabled = %v with dose %g", got, tc.dose)
+			}
+		})
 	}
 }

@@ -36,6 +36,7 @@ var DeterminismAnalyzer = &Analyzer{
 // by the bit-determinism guarantee. Matched as import-path suffixes so
 // fixture trees (fixture/internal/linalg) are covered too.
 var solverPackageSuffixes = []string{
+	"internal/dyn",
 	"internal/linalg",
 	"internal/field",
 	"internal/sim",

@@ -97,6 +97,15 @@ func (n *Network) AddChannel(name string, from, to NodeID, r units.HydraulicResi
 // Channel returns a copy of the channel record.
 func (n *Network) Channel(id ChannelID) Channel { return n.channels[id] }
 
+// NumSources returns the number of flow sources.
+func (n *Network) NumSources() int { return len(n.sources) }
+
+// Source returns a copy of the i-th flow source (in AddSource order).
+// Consumers layering on the network — the transient simulator in
+// internal/dyn attaches a time profile per source — index sources by
+// this stable insertion order.
+func (n *Network) Source(i int) Source { return n.sources[i] }
+
 // AddSource adds an ideal flow source. Either endpoint may be External.
 func (n *Network) AddSource(name string, from, to NodeID, q units.FlowRate) error {
 	if from != External {

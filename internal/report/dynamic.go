@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"ooc/internal/sim"
+)
+
+// FormatDynamic renders a transient-tier result: the stepper summary,
+// per-module arrival times when species transport ran, a decimated
+// time-series table, and the familiar final-state module listing.
+func FormatDynamic(dr *sim.DynamicReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dynamic — %s: %.3g s simulated in %d steps (%d rejected, %d CFL-limited)\n",
+		dr.Report.Design.Name, dr.SimulatedTime, dr.Steps, dr.RejectedSteps, dr.CFLLimitedSteps)
+	if dr.ArrivalTimes != nil {
+		fmt.Fprintf(&b, "species: mass balance error %.3g; arrivals:", dr.MassBalanceError)
+		for m, at := range dr.ArrivalTimes {
+			if at < 0 {
+				fmt.Fprintf(&b, " %s=never", dr.ModuleNames[m])
+			} else {
+				fmt.Fprintf(&b, " %s=%.3gs", dr.ModuleNames[m], at)
+			}
+		}
+		b.WriteByte('\n')
+		b.WriteString("final concentrations:")
+		for m, c := range dr.FinalConcentrations {
+			fmt.Fprintf(&b, " %s=%.3f", dr.ModuleNames[m], c)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Time-series table, decimated to at most maxSeriesRows lines so a
+	// fine sampling cadence stays readable; the CSV keeps every sample.
+	const maxSeriesRows = 24
+	stride := 1
+	if len(dr.Times) > maxSeriesRows {
+		stride = (len(dr.Times) + maxSeriesRows - 1) / maxSeriesRows
+	}
+	fmt.Fprintf(&b, "%10s %8s %12s", "t[s]", "pump", "dP[Pa]")
+	for _, name := range dr.ModuleNames {
+		fmt.Fprintf(&b, " %12s", "Q:"+name)
+	}
+	if dr.ModuleConcs != nil {
+		for _, name := range dr.ModuleNames {
+			fmt.Fprintf(&b, " %12s", "c:"+name)
+		}
+	}
+	b.WriteByte('\n')
+	for k := 0; k < len(dr.Times); k += stride {
+		writeDynamicRow(&b, dr, k)
+	}
+	if last := len(dr.Times) - 1; last >= 0 && last%stride != 0 {
+		writeDynamicRow(&b, dr, last)
+	}
+
+	b.WriteString(FormatFig4(dr.Report))
+	return b.String()
+}
+
+func writeDynamicRow(b *strings.Builder, dr *sim.DynamicReport, k int) {
+	fmt.Fprintf(b, "%10.3f %8.3f %12.4g", dr.Times[k], dr.PumpScale[k], dr.PumpPressure[k])
+	for _, flows := range dr.ModuleFlows {
+		fmt.Fprintf(b, " %12.4g", flows[k])
+	}
+	for _, concs := range dr.ModuleConcs {
+		fmt.Fprintf(b, " %12.4g", concs[k])
+	}
+	b.WriteByte('\n')
+}
+
+// DynamicCSV renders the full (undecimated) time series as
+// comma-separated values: one row per sample, one flow column (and one
+// concentration column, when species transport ran) per module.
+func DynamicCSV(dr *sim.DynamicReport) string {
+	var b strings.Builder
+	b.WriteString("t_s,pump_scale,pump_pressure_pa")
+	for _, name := range dr.ModuleNames {
+		fmt.Fprintf(&b, ",flow_%s_m3s", name)
+	}
+	if dr.ModuleConcs != nil {
+		for _, name := range dr.ModuleNames {
+			fmt.Fprintf(&b, ",conc_%s", name)
+		}
+	}
+	b.WriteByte('\n')
+	for k := range dr.Times {
+		fmt.Fprintf(&b, "%.6g,%.6g,%.6g", dr.Times[k], dr.PumpScale[k], dr.PumpPressure[k])
+		for _, flows := range dr.ModuleFlows {
+			fmt.Fprintf(&b, ",%.10g", flows[k])
+		}
+		for _, concs := range dr.ModuleConcs {
+			fmt.Fprintf(&b, ",%.10g", concs[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

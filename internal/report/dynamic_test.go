@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ooc/internal/core"
+	"ooc/internal/dyn"
+	"ooc/internal/sim"
+	"ooc/internal/usecases"
+)
+
+func sampleDynamicReport(t *testing.T) *sim.DynamicReport {
+	t.Helper()
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{Model: sim.ModelDynamic, Dynamic: sim.DefaultDynamicOptions()}
+	opt.Dynamic.Duration = time.Second
+	opt.Dynamic.Profile = dyn.Profile{Kind: dyn.ProfilePulse, Amplitude: 0.5, Period: 0.25}
+	opt.Dynamic.Species = dyn.Species{Enabled: true, DoseConcentration: 1, DoseDuration: 1, ArrivalThreshold: 0.1}
+	dr, err := sim.ValidateDynamic(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dr
+}
+
+func TestFormatDynamic(t *testing.T) {
+	dr := sampleDynamicReport(t)
+	out := FormatDynamic(dr)
+	for _, want := range []string{
+		"dynamic", "male_simple", "CFL-limited", "arrivals:",
+		"final concentrations:", "Q:lung", "c:brain", "Fig. 4", "pump pressure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dynamic report missing %q:\n%s", want, out)
+		}
+	}
+	// The table is decimated to stay readable but always keeps the last
+	// sample row.
+	if lines := strings.Split(out, "\n"); len(lines) > 60 {
+		t.Errorf("dynamic table not decimated: %d lines", len(lines))
+	}
+	lastRow := fmt.Sprintf("%10.3f", dr.Times[len(dr.Times)-1])
+	if !strings.Contains(out, lastRow) {
+		t.Errorf("dynamic table missing final sample row %q", lastRow)
+	}
+}
+
+func TestDynamicCSV(t *testing.T) {
+	dr := sampleDynamicReport(t)
+	out := DynamicCSV(dr)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "t_s,pump_scale,pump_pressure_pa,flow_lung_m3s,flow_liver_m3s,flow_brain_m3s,conc_lung,conc_liver,conc_brain" {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	if len(lines) != len(dr.Times)+1 {
+		t.Fatalf("csv rows %d, want %d samples + header", len(lines)-1, len(dr.Times))
+	}
+	// Every row carries the full column count.
+	for i, line := range lines {
+		if got := strings.Count(line, ",") + 1; got != 9 {
+			t.Fatalf("csv line %d has %d columns: %s", i, got, line)
+		}
+	}
+}

@@ -193,6 +193,11 @@ func (s *Server) parseJobRequest(w http.ResponseWriter, r *http.Request) (jobs.R
 	if opt.Sim.Model, err = sim.ParseModel(in.Model); err != nil {
 		return jobs.Request{}, err
 	}
+	if opt.Sim.Model == sim.ModelDynamic {
+		// Search jobs only need the settled final state, so the
+		// documented transient defaults are the right configuration.
+		opt.Sim.Dynamic = sim.DefaultDynamicOptions()
+	}
 	scheme := s.cfg.DefaultScheme
 	if in.Scheme != "" {
 		if scheme, err = sim.ParseScheme(in.Scheme); err != nil {

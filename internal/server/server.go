@@ -23,9 +23,14 @@
 //	POST /v1/validate?model=m&scheme=s
 //	                            spec in → validation report (JSON, or
 //	                            text via Accept: text/plain);
-//	                            m ∈ {exact, approx, numeric},
+//	                            m ∈ {exact, approx, numeric, dynamic},
 //	                            s ∈ {auto, sor, mg} (Poisson backend
-//	                            for the numeric model)
+//	                            for the numeric model);
+//	                            model=dynamic adds ?duration=,
+//	                            ?profile=, ?dose= and a time-series
+//	                            reply (CSV via Accept: text/csv); a
+//	                            duration that cannot fit the deadline
+//	                            budget is rejected up front with 400
 //	POST   /v1/jobs             submit an asynchronous design-space
 //	                            search (grid or successive halving);
 //	                            202 + job id, admission-bounded (429)
@@ -143,10 +148,11 @@ type Server struct {
 	start time.Time
 
 	// The pipeline entry points, swappable in tests to inject slow or
-	// counting stubs; production always uses core.GenerateContext and
-	// sim.ValidateContext.
-	generate func(context.Context, core.Spec) (*core.Design, error)
-	validate func(context.Context, *core.Design, sim.Options) (*sim.Report, error)
+	// counting stubs; production always uses core.GenerateContext,
+	// sim.ValidateContext, and sim.ValidateDynamicContext.
+	generate        func(context.Context, core.Spec) (*core.Design, error)
+	validate        func(context.Context, *core.Design, sim.Options) (*sim.Report, error)
+	validateDynamic func(context.Context, *core.Design, sim.Options) (*sim.DynamicReport, error)
 }
 
 // New builds a Server from the config.
@@ -165,10 +171,11 @@ func New(cfg Config) *Server {
 			MaxTimeout:     cfg.JobMaxTimeout,
 			Collector:      cfg.Collector,
 		}),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		generate: core.GenerateContext,
-		validate: sim.ValidateContext,
+		mux:             http.NewServeMux(),
+		start:           time.Now(),
+		generate:        core.GenerateContext,
+		validate:        sim.ValidateContext,
+		validateDynamic: sim.ValidateDynamicContext,
 	}
 	s.mux.HandleFunc("/v1/design", s.handleDesign)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
@@ -377,6 +384,18 @@ func renderValidation(rep *sim.Report, model sim.Model, wantText bool) (response
 			rep.AvgPerfDeviation*100, rep.MaxPerfDeviation*100)
 		return response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: []byte(b.String())}, nil
 	}
+	out := makeValidateResult(rep, model)
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return response{}, fmt.Errorf("rendering report: %w", err)
+	}
+	return response{status: http.StatusOK, contentType: "application/json", body: append(raw, '\n')}, nil
+}
+
+// makeValidateResult converts a report into its JSON form — shared by
+// the steady-state rendering and the dynamic result's final-state
+// section.
+func makeValidateResult(rep *sim.Report, model sim.Model) validateResult {
 	out := validateResult{
 		Name:             rep.Design.Name,
 		Model:            model.String(),
@@ -407,11 +426,7 @@ func renderValidation(rep *sim.Report, model sim.Model, wantText bool) (response
 			PerfusionDeviation: m.PerfusionDeviation,
 		})
 	}
-	raw, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return response{}, fmt.Errorf("rendering report: %w", err)
-	}
-	return response{status: http.StatusOK, contentType: "application/json", body: append(raw, '\n')}, nil
+	return out
 }
 
 // handleValidate serves POST /v1/validate: specification in,
@@ -437,6 +452,16 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	dopt := sim.DefaultDynamicOptions()
+	if model == sim.ModelDynamic {
+		err = parseDynamicQuery(r.URL.Query(), &dopt)
+	} else {
+		err = rejectDynamicQuery(r.URL.Query(), model)
+	}
+	if err != nil {
+		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
 	spec, key, err := s.readSpec(w, r)
 	if err != nil {
 		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
@@ -449,15 +474,32 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	w.Header().Set("X-OOC-Timeout", budget.String())
+	if model == sim.ModelDynamic {
+		// Fail a hopeless transient request before it burns the budget:
+		// the step count gives a wall-clock lower bound up front.
+		if err := checkDynamicBudget(dopt, budget); err != nil {
+			s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
+			return
+		}
+	}
 
-	// The rendering is part of the cache key: text and JSON replies of
-	// the same report are distinct cached bodies.
-	wantText := strings.Contains(r.Header.Get("Accept"), "text/plain")
+	// The rendering is part of the cache key: text, CSV, and JSON
+	// replies of the same report are distinct cached bodies. So are the
+	// dynamic run parameters — two transient runs share an entry exactly
+	// when every option matches.
+	accept := r.Header.Get("Accept")
 	rendering := "json"
-	if wantText {
+	switch {
+	case model == sim.ModelDynamic && strings.Contains(accept, "text/csv"):
+		rendering = "csv"
+	case strings.Contains(accept, "text/plain"):
 		rendering = "text"
 	}
-	cacheKey := fmt.Sprintf("validate|%s|%s|%s|%s", model, scheme, rendering, key)
+	variant := model.String()
+	if model == sim.ModelDynamic {
+		variant += "|" + dopt.CacheKey()
+	}
+	cacheKey := fmt.Sprintf("validate|%s|%s|%s|%s", variant, scheme, rendering, key)
 
 	resp, hit, err := s.cache.do(ctx, s.col, cacheKey, func() (response, bool, error) {
 		if err := s.adm.acquire(ctx); err != nil {
@@ -471,14 +513,29 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return jsonError(http.StatusUnprocessableEntity, "generate: %v", err), false, nil
 		}
-		rep, err := s.validate(ctx, d, sim.Options{Model: model, Scheme: scheme})
+		opt := sim.Options{Model: model, Scheme: scheme, Dynamic: dopt}
+		if model == sim.ModelDynamic {
+			dr, err := s.validateDynamic(ctx, d, opt)
+			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+					return response{}, false, err
+				}
+				return jsonError(http.StatusUnprocessableEntity, "validate: %v", err), false, nil
+			}
+			out, err := renderDynamic(dr, rendering)
+			if err != nil {
+				return response{}, false, err
+			}
+			return out, len(dr.Report.Degradations) == 0, nil
+		}
+		rep, err := s.validate(ctx, d, opt)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				return response{}, false, err
 			}
 			return jsonError(http.StatusUnprocessableEntity, "validate: %v", err), false, nil
 		}
-		out, err := renderValidation(rep, model, wantText)
+		out, err := renderValidation(rep, model, rendering == "text")
 		if err != nil {
 			return response{}, false, err
 		}

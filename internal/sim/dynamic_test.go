@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ooc/internal/core"
+	"ooc/internal/dyn"
+	"ooc/internal/usecases"
+)
+
+func fig4Design(t *testing.T) *core.Design {
+	t.Helper()
+	d, err := core.Generate(usecases.Fig4Instance().Spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return d
+}
+
+func dynOptions() Options {
+	return Options{Model: ModelDynamic, Dynamic: DefaultDynamicOptions()}
+}
+
+// TestDynamicSteadyStateMatchesExact pins the acceptance criterion:
+// the transient tier's t→∞ state agrees with the steady-state exact
+// model within 1e-3 relative error on every module flow and the pump
+// pressure.
+func TestDynamicSteadyStateMatchesExact(t *testing.T) {
+	d := fig4Design(t)
+	exact, err := Validate(d, Options{Model: ModelExact})
+	if err != nil {
+		t.Fatalf("exact validate: %v", err)
+	}
+	opt := dynOptions()
+	opt.Dynamic.Duration = 2 * time.Second // ≫ every RC constant in the chip
+	dr, err := ValidateDynamic(d, opt)
+	if err != nil {
+		t.Fatalf("dynamic validate: %v", err)
+	}
+	for i, m := range dr.Report.Modules {
+		want := float64(exact.Modules[i].ActualFlow)
+		got := float64(m.ActualFlow)
+		if e := math.Abs(got-want) / math.Abs(want); e > 1e-3 {
+			t.Errorf("module %s flow: dynamic %g vs exact %g (rel err %g)", m.Name, got, want, e)
+		}
+	}
+	wantP := float64(exact.PumpPressure)
+	gotP := float64(dr.Report.PumpPressure)
+	if e := math.Abs(gotP-wantP) / math.Abs(wantP); e > 1e-3 {
+		t.Errorf("pump pressure: dynamic %g vs exact %g (rel err %g)", gotP, wantP, e)
+	}
+	if dr.Steps == 0 {
+		t.Error("dynamic run took no steps")
+	}
+	if dr.SimulatedTime < opt.Dynamic.Duration.Seconds() {
+		t.Errorf("run stopped at %g s, want %g s", dr.SimulatedTime, opt.Dynamic.Duration.Seconds())
+	}
+}
+
+// TestDynamicViaValidateContext checks the model dispatch: a plain
+// ValidateContext call with ModelDynamic returns the final-state
+// report.
+func TestDynamicViaValidateContext(t *testing.T) {
+	d := fig4Design(t)
+	opt := dynOptions()
+	opt.Dynamic.Duration = time.Second
+	rep, err := ValidateContext(context.Background(), d, opt)
+	if err != nil {
+		t.Fatalf("ValidateContext: %v", err)
+	}
+	if len(rep.Modules) != len(d.Modules) {
+		t.Errorf("report covers %d modules, want %d", len(rep.Modules), len(d.Modules))
+	}
+}
+
+func TestDynamicPulsatileModulation(t *testing.T) {
+	d := fig4Design(t)
+	opt := dynOptions()
+	opt.Dynamic.Duration = 2 * time.Second
+	opt.Dynamic.SampleEvery = 10 * time.Millisecond
+	opt.Dynamic.Profile = dyn.Profile{Kind: dyn.ProfilePulse, Amplitude: 0.5, Period: 0.5}
+	dr, err := ValidateDynamic(d, opt)
+	if err != nil {
+		t.Fatalf("dynamic validate: %v", err)
+	}
+	// Past the start-up transient every module flow must swing with
+	// the pump: at least 10% of its mean, peak to trough.
+	for m, flows := range dr.ModuleFlows {
+		half := flows[len(flows)/2:]
+		lo, hi, mean := math.Inf(1), math.Inf(-1), 0.0
+		for _, f := range half {
+			lo = math.Min(lo, f)
+			hi = math.Max(hi, f)
+			mean += f / float64(len(half))
+		}
+		if hi-lo < 0.1*math.Abs(mean) {
+			t.Errorf("module %s: pulsatile swing %g below 10%% of mean flow %g", dr.ModuleNames[m], hi-lo, mean)
+		}
+	}
+}
+
+func TestDynamicSpeciesArrivalDelays(t *testing.T) {
+	d := fig4Design(t)
+	opt := dynOptions()
+	opt.Dynamic.Duration = 4 * time.Second
+	opt.Dynamic.Species = dyn.Species{
+		Enabled:           true,
+		DoseConcentration: 1,
+		DoseStart:         0,
+		DoseDuration:      4,
+		ArrivalThreshold:  0.1,
+	}
+	dr, err := ValidateDynamic(d, opt)
+	if err != nil {
+		t.Fatalf("dynamic validate: %v", err)
+	}
+	if dr.ArrivalTimes == nil {
+		t.Fatal("species run produced no arrival times")
+	}
+	// The serial chain doses modules in order: every module is reached,
+	// each strictly later than the one before — the organ-to-organ
+	// transport delay the steady-state models cannot express.
+	for m, at := range dr.ArrivalTimes {
+		if at <= 0 {
+			t.Fatalf("module %s never reached (arrival %g)", dr.ModuleNames[m], at)
+		}
+		if m > 0 && at <= dr.ArrivalTimes[m-1] {
+			t.Errorf("module %s arrival %g s not after %s arrival %g s",
+				dr.ModuleNames[m], at, dr.ModuleNames[m-1], dr.ArrivalTimes[m-1])
+		}
+	}
+	if dr.MassBalanceError > 1e-9 {
+		t.Errorf("species mass balance error %g, want ≤ 1e-9", dr.MassBalanceError)
+	}
+	// By 4 s (total transit < 1 s; the recirculation loop's stagnant
+	// connection channel sets the slow saturation tail) every module
+	// sits at the dose.
+	for m, c := range dr.FinalConcentrations {
+		if math.Abs(c-1) > 1e-3 {
+			t.Errorf("module %s final concentration %g, want ≈ 1", dr.ModuleNames[m], c)
+		}
+	}
+}
+
+// TestDynamicZeroOptionsError pins the zero-sentinel contract: an
+// unpopulated Options.Dynamic is an error naming the constructor, not
+// a silent default.
+func TestDynamicZeroOptionsError(t *testing.T) {
+	d := fig4Design(t)
+	_, err := Validate(d, Options{Model: ModelDynamic})
+	if err == nil {
+		t.Fatal("zero Dynamic options accepted")
+	}
+	if !strings.Contains(err.Error(), "DefaultDynamicOptions") {
+		t.Errorf("error %q does not point at DefaultDynamicOptions", err)
+	}
+	for _, mutate := range []func(*DynamicOptions){
+		func(o *DynamicOptions) { o.Duration = 0 },
+		func(o *DynamicOptions) { o.MaxStep = -time.Millisecond },
+		func(o *DynamicOptions) { o.SampleEvery = 0 },
+		func(o *DynamicOptions) { o.StepTol = 0 },
+		func(o *DynamicOptions) { o.Compliance = 0 },
+	} {
+		opt := dynOptions()
+		mutate(&opt.Dynamic)
+		if _, err := Validate(d, opt); err == nil {
+			t.Error("invalid Dynamic options accepted")
+		}
+	}
+}
+
+// TestDynamicWorkersDeterminism pins the repo-wide contract: the
+// transient series is bit-identical for any worker count.
+func TestDynamicWorkersDeterminism(t *testing.T) {
+	d := fig4Design(t)
+	run := func(workers int) *DynamicReport {
+		opt := dynOptions()
+		opt.Workers = workers
+		opt.Dynamic.Duration = time.Second
+		opt.Dynamic.Profile = dyn.Profile{Kind: dyn.ProfilePulse, Amplitude: 0.4, Period: 0.3}
+		opt.Dynamic.Species = dyn.Species{Enabled: true, DoseConcentration: 1, DoseDuration: 1, ArrivalThreshold: 0.1}
+		dr, err := ValidateDynamic(d, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return dr
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("workers=1 and workers=8 dynamic runs differ")
+	}
+}
+
+// TestDynamicCancellation pins the error contract: cancellation and
+// deadline expiry mid-integration surface as errors wrapping the
+// context cause — never as a silently truncated series.
+func TestDynamicCancellation(t *testing.T) {
+	d := fig4Design(t)
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		opt := dynOptions()
+		start := time.Now()
+		_, err := ValidateDynamicContext(ctx, d, opt)
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Errorf("cancelled validation took %v, want < 1s", elapsed)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("deadline mid-run", func(t *testing.T) {
+		// A long simulated span with a tight wall-clock deadline: the
+		// stepper must notice between steps and abort with the cause.
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		opt := dynOptions()
+		opt.Dynamic.Duration = time.Hour
+		opt.Dynamic.SampleEvery = time.Second
+		opt.Dynamic.MaxStep = time.Millisecond
+		start := time.Now()
+		_, err := ValidateDynamicContext(ctx, d, opt)
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Errorf("deadline abort took %v, want < 1s", elapsed)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestDynamicCacheKey pins that distinct runs key differently and
+// identical runs key identically, for the server's response cache.
+func TestDynamicCacheKey(t *testing.T) {
+	a := DefaultDynamicOptions()
+	b := DefaultDynamicOptions()
+	if a.CacheKey() != b.CacheKey() {
+		t.Error("identical options produced different cache keys")
+	}
+	variants := []func(*DynamicOptions){
+		func(o *DynamicOptions) { o.Duration = 5 * time.Second },
+		func(o *DynamicOptions) { o.MaxStep = time.Millisecond },
+		func(o *DynamicOptions) { o.SampleEvery = 100 * time.Millisecond },
+		func(o *DynamicOptions) { o.StepTol = 1e-4 },
+		func(o *DynamicOptions) { o.Compliance = 1e-6 },
+		func(o *DynamicOptions) { o.Profile = dyn.Profile{Kind: dyn.ProfilePulse, Amplitude: 0.5, Period: 1} },
+		func(o *DynamicOptions) {
+			o.Species = dyn.Species{Enabled: true, DoseConcentration: 1, DoseDuration: 1, ArrivalThreshold: 0.1}
+		},
+	}
+	seen := map[string]bool{a.CacheKey(): true}
+	for i, mutate := range variants {
+		o := DefaultDynamicOptions()
+		mutate(&o)
+		key := o.CacheKey()
+		if seen[key] {
+			t.Errorf("variant %d collides with a previous cache key %q", i, key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestModelRegistry pins satellite 1: "dynamic" must parse, stringify,
+// and appear in ModelNames without any per-call-site edits.
+func TestModelRegistry(t *testing.T) {
+	for _, name := range []string{"exact", "approx", "numeric", "dynamic"} {
+		m, err := ParseModel(name)
+		if err != nil {
+			t.Errorf("ParseModel(%q): %v", name, err)
+			continue
+		}
+		if m.String() != name {
+			t.Errorf("ParseModel(%q).String() = %q", name, m.String())
+		}
+		if !strings.Contains(ModelNames, name) {
+			t.Errorf("ModelNames %q missing %q", ModelNames, name)
+		}
+	}
+	if m, err := ParseModel(""); err != nil || m != ModelExact {
+		t.Errorf("ParseModel(\"\") = %v, %v; want ModelExact", m, err)
+	}
+	if _, err := ParseModel("quantum"); err == nil || !strings.Contains(err.Error(), ModelNames) {
+		t.Errorf("ParseModel(\"quantum\") error %v should list %q", err, ModelNames)
+	}
+}

@@ -1,39 +1,57 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// modelRegistry is the single source of truth for model spellings.
+// ParseModel, Model.String, and ModelNames all derive from it, so a
+// new model added here appears in every CLI usage string, server error
+// message, and parse table automatically.
+var modelRegistry = []struct {
+	name  string
+	model Model
+}{
+	{"exact", ModelExact},
+	{"approx", ModelApprox},
+	{"numeric", ModelNumeric},
+	{"dynamic", ModelDynamic},
+}
 
 // ModelNames lists the valid -model / ?model= spellings in their
 // canonical order; usage and error messages quote it so every consumer
 // (oocsim, oocbench, oocload, the oocd query parameter) stays in sync
 // with the Model constants.
-const ModelNames = "exact, approx, numeric"
+var ModelNames = func() string {
+	names := make([]string, len(modelRegistry))
+	for i, e := range modelRegistry {
+		names[i] = e.name
+	}
+	return strings.Join(names, ", ")
+}()
 
 // ParseModel resolves a user-supplied model name. The empty string
 // selects the default ModelExact; anything else must be one of
 // ModelNames or the error lists the valid spellings.
 func ParseModel(name string) (Model, error) {
-	switch name {
-	case "", "exact":
+	if name == "" {
 		return ModelExact, nil
-	case "approx":
-		return ModelApprox, nil
-	case "numeric":
-		return ModelNumeric, nil
-	default:
-		return 0, fmt.Errorf("sim: unknown model %q (valid models: %s)", name, ModelNames)
 	}
+	for _, e := range modelRegistry {
+		if e.name == name {
+			return e.model, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown model %q (valid models: %s)", name, ModelNames)
 }
 
 // String names the model as ParseModel spells it.
 func (m Model) String() string {
-	switch m {
-	case ModelExact:
-		return "exact"
-	case ModelApprox:
-		return "approx"
-	case ModelNumeric:
-		return "numeric"
-	default:
-		return fmt.Sprintf("Model(%d)", int(m))
+	for _, e := range modelRegistry {
+		if e.model == m {
+			return e.name
+		}
 	}
+	return fmt.Sprintf("Model(%d)", int(m))
 }

@@ -45,6 +45,11 @@ const (
 	// solve cache, so the many identical channels of a chip (and of a
 	// whole evaluation grid) solve once per similarity class.
 	ModelNumeric
+	// ModelDynamic is the transient tier (internal/dyn): exact duct
+	// resistances, but instead of a steady-state solve the network is
+	// integrated through time with node compliance, pump profiles, and
+	// optional species transport. Configured via Options.Dynamic.
+	ModelDynamic
 )
 
 // defaultNumericResolution is the FDM grid resolution ModelNumeric
@@ -77,6 +82,11 @@ type Options struct {
 	// count: each channel's resistance is a pure function of the
 	// design, and assembly happens in channel-index order.
 	Workers int
+	// Dynamic configures the transient tier; only consulted when Model
+	// is ModelDynamic, and then it must be populated (start from
+	// DefaultDynamicOptions) — a zero Dynamic is a validation error,
+	// never a silent default.
+	Dynamic DynamicOptions
 }
 
 // buildWorkers resolves Options.Workers for the per-channel build.
@@ -227,7 +237,7 @@ func buildNetwork(ctx context.Context, d *core.Design, opt Options) (*builtNetwo
 		degree[d.Channels[i].To]++
 	}
 
-	if opt.Model != ModelApprox && opt.Model != ModelExact && opt.Model != ModelNumeric {
+	if opt.Model != ModelApprox && opt.Model != ModelExact && opt.Model != ModelNumeric && opt.Model != ModelDynamic {
 		return nil, fmt.Errorf("sim: unknown model %d", int(opt.Model))
 	}
 	numericN := opt.NumericResolution
@@ -257,7 +267,9 @@ func buildNetwork(ctx context.Context, d *core.Design, opt Options) (*builtNetwo
 		switch opt.Model {
 		case ModelApprox:
 			r, err = fluid.ResistanceApprox(c.Cross, c.Length, mu)
-		case ModelExact:
+		case ModelExact, ModelDynamic:
+			// The transient tier evolves the network in time but keeps
+			// the truth-model duct resistances.
 			r, err = fluid.ResistanceExact(c.Cross, c.Length, mu)
 		case ModelNumeric:
 			r, err = NumericResistanceContext(ctx, c.Cross, c.Length, mu, numericN, opt.Scheme)
@@ -324,6 +336,25 @@ func buildNetwork(ctx context.Context, d *core.Design, opt Options) (*builtNetwo
 		b.chanIDs[i] = id
 	}
 	return b, nil
+}
+
+// attachPumps adds the three design pumps as flow sources: the inlet
+// pump feeds the inlet port, the outlet pump extracts at the outlet
+// port, and the recirculation pump moves fluid from the outlet
+// junction into the connection inlet "cin". Both the steady-state
+// solve and the transient tier attach the same sources, in the same
+// order, so dyn's per-source profile indexing stays aligned.
+func attachPumps(b *builtNetwork, d *core.Design) error {
+	if err := b.net.AddSource("pump-inlet", netlist.External, b.node("inlet"), d.Pumps.Inlet); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := b.net.AddSource("pump-outlet", b.node("outlet"), netlist.External, d.Pumps.Outlet); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := b.net.AddSource("pump-recirculation", b.node("outlet"), b.node("cin"), d.Pumps.Recirculation); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
 }
 
 // flowSolution abstracts the two solver result types.
@@ -406,21 +437,19 @@ func Validate(d *core.Design, opt Options) (*Report, error) {
 // downgraded channels in Report.Degradations (the obs collector
 // carried by ctx counts them too).
 func ValidateContext(ctx context.Context, d *core.Design, opt Options) (*Report, error) {
+	if opt.Model == ModelDynamic {
+		dr, err := ValidateDynamicContext(ctx, d, opt)
+		if err != nil {
+			return nil, err
+		}
+		return dr.Report, nil
+	}
 	b, err := buildNetwork(ctx, d, opt)
 	if err != nil {
 		return nil, err
 	}
-	// Pumps: the inlet pump feeds the inlet port, the outlet pump
-	// extracts at the outlet port, and the recirculation pump moves
-	// fluid from the outlet junction into the connection inlet "cin".
-	if err := b.net.AddSource("pump-inlet", netlist.External, b.node("inlet"), d.Pumps.Inlet); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if err := b.net.AddSource("pump-outlet", b.node("outlet"), netlist.External, d.Pumps.Outlet); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if err := b.net.AddSource("pump-recirculation", b.node("outlet"), b.node("cin"), d.Pumps.Recirculation); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	if err := attachPumps(b, d); err != nil {
+		return nil, err
 	}
 	sol, err := b.net.Solve()
 	if err != nil {

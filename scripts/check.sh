@@ -148,6 +148,42 @@ oocd_smoke() {
 }
 step oocd-smoke oocd_smoke
 
+# Dynamic smoke: the transient tier end to end. A pulsatile dosed
+# oocsim run on the Fig. 4 chip must saturate every organ at the dose
+# (pinned final concentrations — the t→∞ steady state), and the daemon
+# must reject a simulated span that cannot fit the request's deadline
+# budget with a clean 400 before burning any solve time.
+dynamic_smoke() {
+    go build -o "$WORK/oocgen" ./cmd/oocgen
+    go build -o "$WORK/oocsim" ./cmd/oocsim
+    "$WORK/oocgen" -usecase male_simple -json "$WORK/chip.json" -validate=false || return 1
+    "$WORK/oocsim" -model dynamic -duration 4s -pump-profile pulse:0.5@500ms -dose 1 \
+        "$WORK/chip.json" > "$WORK/dynamic.out" || {
+        echo "oocsim -model dynamic failed" >&2
+        cat "$WORK/dynamic.out" >&2
+        return 1
+    }
+    grep -q "final concentrations: lung=1.000 liver=1.000 brain=1.000" "$WORK/dynamic.out" || {
+        echo "dynamic run did not saturate the organ chain at the dose:" >&2
+        cat "$WORK/dynamic.out" >&2
+        return 1
+    }
+    grep -q "arrivals: lung=" "$WORK/dynamic.out" || {
+        echo "dynamic run reported no arrival times" >&2
+        return 1
+    }
+    # The over-budget rejection (and one good transient request) over
+    # HTTP, via the oocload probe against a fresh daemon.
+    start_oocd "$WORK/dyn-oocd.out" -addr 127.0.0.1:0 || return 1
+    timeout 60 "$WORK/oocload" -url "http://$ADDR" -dynamic || {
+        echo "oocd dynamic probe failed" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    stop_oocd
+}
+step dynamic-smoke dynamic_smoke
+
 # Warm-boot smoke: a daemon killed and restarted with -cache-snapshot
 # must serve a previously-seen spec straight from the restored cache —
 # the first request after restart is a response-cache hit, with zero
