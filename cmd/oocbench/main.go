@@ -27,6 +27,9 @@
 //	oocbench -scheme mg   # force the multigrid Poisson backend (numeric model)
 //	oocbench -json        # machine-readable benchmark document (grid only)
 //	oocbench -json -diff BENCH_5.json  # regression gate vs a committed baseline
+//	oocbench -budget 0.02 # auto-select the cheapest model within a 2% error budget
+//	oocbench -calibrate > internal/modelsel/CALIB.json  # regenerate the calibration artifact
+//	oocbench -calibrate -diff internal/modelsel/CALIB.json  # CI drift gate
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 
 	"ooc/internal/core"
 	"ooc/internal/eval"
+	"ooc/internal/modelsel"
 	"ooc/internal/obs"
 	"ooc/internal/report"
 	"ooc/internal/sim"
@@ -63,39 +67,64 @@ type config struct {
 	scheme    string
 	jsonOut   bool
 	diffPath  string
-	// diff tolerances; see cmd/oocbench/json.go.
+	budget    float64
+	calibrate bool
+	// diff tolerances; see cmd/oocbench/json.go and calibrate.go.
 	diffAccTol  float64
 	diffWallTol float64
 	diffIterTol float64
+	calibTol    float64
 }
 
-// simOptions resolves the -model and -scheme flags. A -model of
-// "auto" keeps the historical analytic-exact validation, except under
-// -stats where the numeric model is selected so the telemetry has
-// iterative solves and cache traffic to report; everything else goes
-// through the shared sim.ParseModel / sim.ParseScheme spelling checks.
-func (c config) simOptions() (sim.Options, error) {
+// simOptions resolves the -model, -scheme and -budget flags. A -model
+// of "auto" keeps the historical analytic-exact validation, except
+// under -stats where the numeric model is selected so the telemetry
+// has iterative solves and cache traffic to report, and under -budget
+// where the cheapest calibrated rung within the error budget is
+// selected (an explicit -model always wins over -budget); everything
+// else goes through the shared sim.ParseModel / sim.ParseScheme
+// spelling checks. The selected rung, when any, rides along for the
+// run header.
+func (c config) simOptions() (sim.Options, *modelsel.Rung, error) {
+	opt := sim.DefaultOptions()
 	scheme, err := sim.ParseScheme(c.scheme)
 	if err != nil {
-		return sim.Options{}, fmt.Errorf("-scheme: %w", err)
+		return opt, nil, fmt.Errorf("-scheme: %w", err)
 	}
-	if c.model == "" || c.model == "auto" {
-		if c.stats {
-			return sim.Options{Model: sim.ModelNumeric, Scheme: scheme}, nil
+	opt.Scheme = scheme
+	explicitModel := c.model != "" && c.model != "auto"
+	if c.budget != 0 && !explicitModel {
+		// The grid spans every use case, so selection goes against the
+		// global (all-use-case) calibrated bounds.
+		table, err := modelsel.Default()
+		if err != nil {
+			return opt, nil, err
 		}
-		return sim.Options{Scheme: scheme}, nil
+		rung, err := table.Select("", c.budget)
+		if err != nil {
+			return opt, nil, fmt.Errorf("-budget: %w", err)
+		}
+		rung.Apply(&opt)
+		opt.ErrorBudget = c.budget
+		return opt, &rung, nil
+	}
+	if !explicitModel {
+		if c.stats {
+			opt.Model = sim.ModelNumeric
+		}
+		return opt, nil, nil
 	}
 	m, err := sim.ParseModel(c.model)
 	if err != nil {
-		return sim.Options{}, fmt.Errorf("-model: %w (or auto)", err)
+		return opt, nil, fmt.Errorf("-model: %w (or auto)", err)
 	}
-	opt := sim.Options{Model: m, Scheme: scheme}
+	opt.Model = m
 	if m == sim.ModelDynamic {
 		// The benchmark compares settled final states, so the documented
 		// transient defaults are the right configuration.
 		opt.Dynamic = sim.DefaultDynamicOptions()
 	}
-	return opt, nil
+	return opt, nil, nil
 }
 
 func main() {
@@ -112,17 +141,25 @@ func main() {
 	flag.StringVar(&cfg.scheme, "scheme", "auto", "Poisson backend for the numeric model: auto, sor or mg")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit a machine-readable benchmark document (grid rows + solver/cache telemetry) instead of the report")
 	flag.StringVar(&cfg.diffPath, "diff", "", "compare a fresh -json run against the baseline document at this path; exit nonzero on regression")
+	flag.Float64Var(&cfg.budget, "budget", 0, "auto-select the cheapest model whose calibrated worst-case deviation fits this fraction (0 disables; an explicit -model wins)")
+	flag.BoolVar(&cfg.calibrate, "calibrate", false, "emit the modelsel calibration document (paper grid swept across every ladder rung plus the reference) instead of the report; with -diff, gate on drift vs a committed CALIB.json")
 	flag.Float64Var(&cfg.diffAccTol, "diff-acc-tol", 0.01, "-diff: max allowed drift per deviation cell, in percentage points")
 	flag.Float64Var(&cfg.diffWallTol, "diff-wall-tol", 2.0, "-diff: max allowed wall-clock ratio vs baseline")
 	flag.Float64Var(&cfg.diffIterTol, "diff-iter-tol", 1.25, "-diff: max allowed per-solver iteration ratio vs baseline")
+	flag.Float64Var(&cfg.calibTol, "calib-tol", 1e-6, "-calibrate -diff: max allowed absolute drift per calibrated bound")
 	flag.Parse()
 
-	// A typo'd -model or -scheme is a usage error: fail before the
-	// grid run starts, with the valid spellings, and exit 2 like flag
-	// package parse failures do.
-	if _, err := cfg.simOptions(); err != nil {
+	// A typo'd -model or -scheme (or an out-of-range -budget, or a flag
+	// combination with two output formats) is a usage error: fail
+	// before the grid run starts, with the valid spellings, and exit 2
+	// like flag package parse failures do.
+	if _, _, err := cfg.simOptions(); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
-		fmt.Fprintf(os.Stderr, "usage: oocbench [-model {auto, %s}] [-scheme {%s}] [flags]\n", sim.ModelNames, sim.SchemeNames)
+		fmt.Fprintf(os.Stderr, "usage: oocbench [-model {auto, %s}] [-scheme {%s}] [-budget f] [flags]\n", sim.ModelNames, sim.SchemeNames)
+		os.Exit(2)
+	}
+	if cfg.calibrate && cfg.jsonOut {
+		fmt.Fprintln(os.Stderr, "oocbench: -calibrate and -json are distinct documents; pick one")
 		os.Exit(2)
 	}
 
@@ -146,9 +183,24 @@ func main() {
 // summary under -stats — is still flushed before the error is
 // returned, so an aborted run keeps its partial results.
 func run(ctx context.Context, cfg config, out, errOut io.Writer) error {
-	opt, err := cfg.simOptions()
+	if cfg.calibrate {
+		return runCalibrate(ctx, cfg, out, errOut)
+	}
+	opt, sel, err := cfg.simOptions()
 	if err != nil {
 		return err
+	}
+	if cfg.budget != 0 {
+		// The selection decision goes to stderr so -json stdout stays a
+		// pure document.
+		note := "oocbench: explicit -model wins; -budget ignored\n"
+		if sel != nil {
+			note = fmt.Sprintf("oocbench: error budget %g selected %s (calibrated worst-case deviation %.6g)\n",
+				cfg.budget, sel.Name, sel.Global.Worst())
+		}
+		if _, err := io.WriteString(errOut, note); err != nil {
+			return fmt.Errorf("writing selection note: %w", err)
+		}
 	}
 	if cfg.jsonOut || cfg.diffPath != "" {
 		return runJSON(ctx, cfg, opt, out, errOut)

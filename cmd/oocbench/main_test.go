@@ -186,7 +186,7 @@ func TestModelFlagValidation(t *testing.T) {
 		{model: "Numeric", wantErr: true},
 	}
 	for _, tc := range cases {
-		opt, err := config{model: tc.model, stats: tc.stats}.simOptions()
+		opt, _, err := config{model: tc.model, stats: tc.stats}.simOptions()
 		if tc.wantErr {
 			if err == nil {
 				t.Errorf("model %q: expected an error", tc.model)
@@ -229,7 +229,7 @@ func TestSchemeFlagValidation(t *testing.T) {
 		{scheme: "Mg", wantErr: true},
 	}
 	for _, tc := range cases {
-		opt, err := config{model: "numeric", scheme: tc.scheme}.simOptions()
+		opt, _, err := config{model: "numeric", scheme: tc.scheme}.simOptions()
 		if tc.wantErr {
 			if err == nil {
 				t.Errorf("scheme %q: expected an error", tc.scheme)

@@ -5,7 +5,11 @@
 //
 //	POST /v1/design             specification in, generated design out
 //	POST /v1/validate?model=m&scheme=s
-//	                            specification in, validation report out
+//	                            specification in, validation report out;
+//	                            ?error_budget=f instead of ?model=
+//	                            auto-selects the cheapest calibrated
+//	                            model rung within the budget (the rung
+//	                            is echoed in X-OOC-Model-Selected)
 //	POST   /v1/jobs             submit an asynchronous design-space
 //	                            search job (grid or successive halving)
 //	GET    /v1/jobs             list retained jobs
@@ -74,6 +78,7 @@ import (
 	"time"
 
 	"ooc/internal/cachesnap"
+	"ooc/internal/modelsel"
 	"ooc/internal/server"
 	"ooc/internal/sim"
 )
@@ -127,6 +132,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocd:", err)
 		fmt.Fprintf(os.Stderr, "usage: oocd [-scheme {%s}] [flags]\n", sim.SchemeNames)
+		os.Exit(2)
+	}
+	// The embedded calibration artifact backs every ?error_budget=
+	// request; a build whose artifact fails validation must not serve —
+	// fail loudly at boot, not with per-request 500s.
+	if _, err := modelsel.Default(); err != nil {
+		fmt.Fprintln(os.Stderr, "oocd:", err)
 		os.Exit(2)
 	}
 

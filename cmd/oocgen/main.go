@@ -122,7 +122,7 @@ func run(ctx context.Context, useCase, specPath, svgPath, jsonPath, dxfPath, gds
 	}
 
 	if validate {
-		rep, err := ooc.ValidateContext(ctx, design, ooc.ValidationOptions{})
+		rep, err := ooc.ValidateContext(ctx, design, ooc.DefaultValidationOptions())
 		if err != nil {
 			return err
 		}

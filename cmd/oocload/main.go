@@ -21,6 +21,8 @@
 //	oocload -url http://localhost:8080 -smoke     # health+design+metrics probe
 //	oocload -url http://localhost:8080 -jobs      # async /v1/jobs search probe
 //	oocload -url http://localhost:8080 -dynamic   # transient-tier probe incl. budget rejection
+//	oocload -url http://localhost:8080 -endpoint validate -budget 0.01   # budgeted traffic
+//	oocload -url http://localhost:8080 -budget-probe   # ?error_budget= selection/caching probe
 //	oocload -url http://localhost:8080 -metrics   # dump /metrics to stdout
 package main
 
@@ -36,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"ooc/internal/modelsel"
 	"ooc/internal/parallel"
 	"ooc/internal/sim"
 	"ooc/internal/specio"
@@ -43,18 +46,20 @@ import (
 )
 
 type config struct {
-	url      string
-	targets  string
-	endpoint string
-	model    string
-	spec     string
-	n        int
-	workers  int
-	distinct bool
-	smoke    bool
-	jobs     bool
-	dynamic  bool
-	metrics  bool
+	url         string
+	targets     string
+	endpoint    string
+	model       string
+	spec        string
+	n           int
+	workers     int
+	budget      float64
+	distinct    bool
+	smoke       bool
+	jobs        bool
+	dynamic     bool
+	budgetProbe bool
+	metrics     bool
 }
 
 func main() {
@@ -70,6 +75,8 @@ func main() {
 	flag.BoolVar(&cfg.smoke, "smoke", false, "probe /healthz, one /v1/design and /metrics on every target, then exit")
 	flag.BoolVar(&cfg.jobs, "jobs", false, "submit a successive-halving search job, poll it to completion, assert a feasible best, then exit")
 	flag.BoolVar(&cfg.dynamic, "dynamic", false, "probe the transient tier: one short dynamic validation must succeed and an over-budget duration must be rejected up front, then exit")
+	flag.Float64Var(&cfg.budget, "budget", 0, "send ?error_budget= requests instead of ?model= (fraction in (0, 1]; 0 disables)")
+	flag.BoolVar(&cfg.budgetProbe, "budget-probe", false, "probe ?error_budget= model auto-selection: selection header, cache hit on repeat, unmeetable-budget 400, explicit-model override, then exit")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print every target's /metrics exposition to stdout, then exit")
 	flag.Parse()
 
@@ -98,6 +105,8 @@ func main() {
 		err = jobsProbe(targets[0], cfg.spec)
 	case cfg.dynamic:
 		err = dynamicProbe(targets[0], cfg.spec)
+	case cfg.budgetProbe:
+		err = budgetProbeRun(targets[0], cfg.spec, cfg.budget)
 	default:
 		err = run(cfg, targets, path)
 	}
@@ -115,10 +124,24 @@ func (c config) requestPath() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if c.budget != 0 {
+		if err := modelsel.CheckBudget(c.budget); err != nil {
+			return "", err
+		}
+	}
 	switch c.endpoint {
 	case "design":
+		if c.budget != 0 {
+			return fmt.Sprintf("/v1/design?error_budget=%g", c.budget), nil
+		}
 		return "/v1/design", nil
 	case "validate":
+		// -budget replaces the fixed ?model= with server-side
+		// auto-selection, so a mixed fleet of budgeted and fixed-model
+		// load is two oocload invocations.
+		if c.budget != 0 {
+			return fmt.Sprintf("/v1/validate?error_budget=%g", c.budget), nil
+		}
 		return "/v1/validate?model=" + m.String(), nil
 	default:
 		return "", fmt.Errorf("unknown endpoint %q (valid endpoints: design, validate)", c.endpoint)
@@ -404,6 +427,116 @@ func dynamicProbe(base, spec string) error {
 		return fmt.Errorf("over-budget dynamic validate: status %d, want %d", status, http.StatusBadRequest)
 	}
 	fmt.Printf("oocload: dynamic probe ok: %d steps, %d samples, budget rejection enforced\n", out.Steps, len(out.TimesS))
+	return nil
+}
+
+// budgetProbeRun exercises ?error_budget= model auto-selection end to
+// end: a budgeted validation must answer 200 with a non-numeric rung
+// in X-OOC-Model-Selected and a cache miss, the identical repeat must
+// be a cache hit with the same rung, a budget tighter than every
+// calibrated rung must be rejected up front with a 400 naming the
+// tightest achievable rung, and an explicit ?model= must win over the
+// budget (no selection header). It is the scriptable check used by
+// scripts/check.sh (no curl needed).
+func budgetProbeRun(base, spec string, budget float64) error {
+	if budget == 0 {
+		// 1% comfortably admits the cheapest calibrated rung on the
+		// paper grid (approx tops out around 0.4%) without being
+		// universally satisfiable.
+		budget = 0.01
+	}
+	if err := modelsel.CheckBudget(budget); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	uc, err := usecases.ByName(spec)
+	if err != nil {
+		return err
+	}
+	body, err := specio.Marshal(uc.Build())
+	if err != nil {
+		return err
+	}
+	postProbe := func(path string) (int, http.Header, []byte, error) {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return resp.StatusCode, resp.Header, nil, err
+		}
+		return resp.StatusCode, resp.Header, raw, nil
+	}
+
+	budgeted := fmt.Sprintf("/v1/validate?error_budget=%g", budget)
+	status, hdr, raw, err := postProbe(budgeted)
+	if err != nil {
+		return fmt.Errorf("budgeted validate: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("budgeted validate: status %d body %s", status, raw)
+	}
+	rung := hdr.Get("X-OOC-Model-Selected")
+	if rung == "" {
+		return fmt.Errorf("budgeted validate: no X-OOC-Model-Selected header")
+	}
+	if strings.HasPrefix(rung, "numeric") {
+		return fmt.Errorf("budgeted validate: budget %g selected %s — expected a cheaper non-numeric rung", budget, rung)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		return fmt.Errorf("budgeted validate: first request X-Cache %q, want miss", hdr.Get("X-Cache"))
+	}
+	var out struct {
+		ModelSelected string  `json:"model_selected"`
+		ErrorBudget   float64 `json:"error_budget"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return fmt.Errorf("budgeted validate: %w", err)
+	}
+	// The budget round-trips client → query string → report as %g
+	// text, so the faithful comparison is textual, not float equality.
+	if out.ModelSelected != rung || fmt.Sprintf("%g", out.ErrorBudget) != fmt.Sprintf("%g", budget) {
+		return fmt.Errorf("budgeted validate: report says rung %q budget %g, header says %q budget %g",
+			out.ModelSelected, out.ErrorBudget, rung, budget)
+	}
+
+	status, hdr, _, err = postProbe(budgeted)
+	if err != nil {
+		return fmt.Errorf("repeat budgeted validate: %w", err)
+	}
+	if status != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		return fmt.Errorf("repeat budgeted validate: status %d X-Cache %q, want 200 hit", status, hdr.Get("X-Cache"))
+	}
+	if hdr.Get("X-OOC-Model-Selected") != rung {
+		return fmt.Errorf("repeat budgeted validate: rung %q, want %q", hdr.Get("X-OOC-Model-Selected"), rung)
+	}
+
+	status, _, raw, err = postProbe("/v1/validate?error_budget=1e-9")
+	if err != nil {
+		return fmt.Errorf("unmeetable budget: %w", err)
+	}
+	if status != http.StatusBadRequest {
+		return fmt.Errorf("unmeetable budget: status %d body %s, want %d", status, raw, http.StatusBadRequest)
+	}
+	if !strings.Contains(string(raw), "tightest") {
+		return fmt.Errorf("unmeetable budget: error does not name the tightest achievable rung: %s", raw)
+	}
+
+	status, hdr, _, err = postProbe(fmt.Sprintf("/v1/validate?model=exact&error_budget=%g", budget))
+	if err != nil {
+		return fmt.Errorf("explicit model override: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("explicit model override: status %d", status)
+	}
+	if h := hdr.Get("X-OOC-Model-Selected"); h != "" {
+		return fmt.Errorf("explicit model override: selection header %q present — explicit ?model= must win", h)
+	}
+	fmt.Printf("oocload: budget probe ok: budget %g selected %s, cached on repeat, unmeetable and override enforced\n", budget, rung)
 	return nil
 }
 

@@ -17,11 +17,17 @@
 // -timeout budget aborts it cooperatively, keeping the partially
 // evaluated candidate log.
 //
+// With -budget the full-fidelity model is not fixed up front: the
+// cheapest calibrated rung whose worst-case deviation fits the budget
+// is auto-selected for the spec's use case (internal/modelsel). An
+// explicitly set -model wins over -budget.
+//
 // Usage:
 //
 //	oocopt -usecase male_simple
 //	oocopt -usecase male_simple -strategy halving -stats
 //	oocopt -spec myspec.json -objective pressure -model numeric -timeout 2m
+//	oocopt -usecase male_simple -budget 0.001
 //	oocopt -usecase male_simple -heights 100,150,200 -gaps 2,3
 package main
 
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"ooc/internal/core"
+	"ooc/internal/modelsel"
 	"ooc/internal/optimize"
 	"ooc/internal/sim"
 	"ooc/internal/specio"
@@ -62,6 +69,7 @@ type config struct {
 	workers      int
 	timeout      time.Duration
 	stats        bool
+	budget       float64
 }
 
 func main() {
@@ -81,6 +89,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "concurrent candidate evaluations per halving rung (0 = GOMAXPROCS)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "overall search deadline (0 = none)")
 	flag.BoolVar(&cfg.stats, "stats", false, "print the rung schedule and the full candidate log")
+	flag.Float64Var(&cfg.budget, "budget", 0, "error budget as a fraction in (0, 1]: auto-select the cheapest calibrated full-fidelity rung within it (0 disables; explicit -model wins)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: oocopt [flags]")
@@ -91,6 +100,9 @@ func main() {
 	// usage error (exit 2 with the valid spellings), not a late
 	// runtime failure.
 	opt, err := searchOptions(cfg)
+	if err == nil && cfg.budget != 0 {
+		err = modelsel.CheckBudget(cfg.budget)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocopt:", err)
 		fmt.Fprintf(os.Stderr, "usage: oocopt [-objective {%s}] [-strategy {%s}] [-model {%s}] [-scheme {%s}] [flags]\n",
@@ -101,6 +113,37 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocopt:", err)
 		os.Exit(2)
+	}
+	// Budget selection waits for the spec so the per-use-case
+	// calibration bound (keyed by the spec's name) applies. The flag's
+	// -model default "exact" is indistinguishable from an explicit
+	// choice by value alone, so command-line presence decides the
+	// explicit-model-wins rule.
+	modelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "model" {
+			modelSet = true
+		}
+	})
+	if cfg.budget != 0 {
+		if modelSet {
+			fmt.Fprintln(os.Stderr, "oocopt: explicit -model wins; -budget ignored")
+		} else {
+			table, err := modelsel.Default()
+			if err == nil {
+				var rung modelsel.Rung
+				if rung, err = table.Select(spec.Name, cfg.budget); err == nil {
+					rung.Apply(&opt.Sim)
+					opt.Sim.ErrorBudget = cfg.budget
+					fmt.Fprintf(os.Stderr, "oocopt: error budget %g selected %s (calibrated worst-case deviation %.6g)\n",
+						cfg.budget, rung.Name, rung.Bound(spec.Name).Worst())
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oocopt:", err)
+				os.Exit(2)
+			}
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -15,11 +15,18 @@
 // through the organ chain. The report gains a time-series table (or
 // the full series as CSV with -csv).
 //
+// With -budget the model is not fixed up front: the cheapest
+// calibrated fidelity rung whose worst-case deviation from the
+// numeric@128 reference fits the budget is auto-selected per design
+// (internal/modelsel). An explicitly set -model always wins over
+// -budget.
+//
 // Usage:
 //
 //	oocsim chip.json
 //	oocsim -model approx -no-bends -no-junctions chip.json   # self-consistency check
 //	oocsim -model numeric -timeout 30s -stats chip.json      # CFD-lite with telemetry
+//	oocsim -budget 0.001 chip.json                           # auto-select rung within 0.1% error
 //	oocsim -model dynamic -duration 2s -pump-profile pulse:0.5@500ms -dose 1 chip.json
 package main
 
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"ooc/internal/dyn"
+	"ooc/internal/modelsel"
 	"ooc/internal/obs"
 	"ooc/internal/render"
 	"ooc/internal/report"
@@ -54,23 +62,42 @@ func main() {
 	profile := flag.String("pump-profile", "constant", "dynamic model: pump drive shape ("+dyn.ProfileNames+")")
 	dose := flag.Float64("dose", 0, "dynamic model: inlet dose concentration; 0 disables species transport")
 	csv := flag.Bool("csv", false, "dynamic model: print the full time series as CSV instead of the report")
+	budget := flag.Float64("budget", 0, "error budget as a fraction in (0, 1]: auto-select the cheapest calibrated model rung within it (0 disables; explicit -model wins)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: oocsim [flags] design.json")
 		os.Exit(2)
 	}
-	// Flag validation happens before any file I/O: a typo'd -model or
-	// -scheme is a usage error (exit 2 with the valid spellings), not a
-	// late runtime failure after the design was already parsed.
+	// Flag validation happens before any file I/O: a typo'd -model,
+	// -scheme or -budget is a usage error (exit 2 with the valid
+	// spellings), not a late runtime failure after the design was
+	// already parsed.
 	opt, err := modelOptions(*model, *scheme, *noBends, *noJunctions)
 	if err == nil && opt.Model == sim.ModelDynamic {
 		opt.Dynamic, err = dynamicOptions(*duration, *maxStep, *sampleEvery, *profile, *dose)
+	}
+	if err == nil && *budget != 0 {
+		err = modelsel.CheckBudget(*budget)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocsim:", err)
 		fmt.Fprintf(os.Stderr, "usage: oocsim [-model {%s}] [-scheme {%s}] [flags] design.json\n", sim.ModelNames, sim.SchemeNames)
 		os.Exit(2)
+	}
+	// An explicitly chosen -model beats -budget selection — the flag's
+	// default "exact" is indistinguishable from an explicit choice by
+	// value alone, so presence on the command line decides.
+	modelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "model" {
+			modelSet = true
+		}
+	})
+	effectiveBudget := *budget
+	if modelSet && *budget != 0 {
+		fmt.Fprintln(os.Stderr, "oocsim: explicit -model wins; -budget ignored")
+		effectiveBudget = 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,7 +113,7 @@ func main() {
 		ctx = obs.WithCollector(ctx, col)
 	}
 
-	err = run(ctx, flag.Arg(0), opt, *csv)
+	err = run(ctx, flag.Arg(0), opt, effectiveBudget, *csv)
 	if col != nil {
 		// Telemetry covers whatever ran, including aborted solves.
 		fmt.Print(col.Snapshot().Format())
@@ -100,20 +127,20 @@ func main() {
 // modelOptions resolves the model/scheme flags and loss switches into
 // validation options.
 func modelOptions(model, scheme string, noBends, noJunctions bool) (sim.Options, error) {
+	o := sim.DefaultOptions()
 	m, err := sim.ParseModel(model)
 	if err != nil {
-		return sim.Options{}, err
+		return o, err
 	}
 	s, err := sim.ParseScheme(scheme)
 	if err != nil {
-		return sim.Options{}, err
+		return o, err
 	}
-	return sim.Options{
-		Model:                 m,
-		Scheme:                s,
-		DisableBendLosses:     noBends,
-		DisableJunctionLosses: noJunctions,
-	}, nil
+	o.Model = m
+	o.Scheme = s
+	o.DisableBendLosses = noBends
+	o.DisableJunctionLosses = noJunctions
+	return o, nil
 }
 
 // dynamicOptions resolves the transient-tier flags; a -dose above zero
@@ -143,7 +170,7 @@ func dynamicOptions(duration, maxStep, sampleEvery time.Duration, profile string
 	return o, o.Validate()
 }
 
-func run(ctx context.Context, path string, opt sim.Options, csv bool) error {
+func run(ctx context.Context, path string, opt sim.Options, budget float64, csv bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -151,6 +178,23 @@ func run(ctx context.Context, path string, opt sim.Options, csv bool) error {
 	design, err := render.ParseJSON(raw)
 	if err != nil {
 		return err
+	}
+	// Budget selection waits until the design is parsed so the
+	// per-use-case calibration bound (keyed by the design's name) can
+	// be used; unknown names fall back to the global bound.
+	if budget != 0 {
+		table, err := modelsel.Default()
+		if err != nil {
+			return err
+		}
+		rung, err := table.Select(design.Name, budget)
+		if err != nil {
+			return err
+		}
+		rung.Apply(&opt)
+		opt.ErrorBudget = budget
+		fmt.Printf("model auto-selected: %s (calibrated worst-case deviation %.6g within budget %g)\n",
+			rung.Name, rung.Bound(design.Name).Worst(), budget)
 	}
 	if opt.Model == sim.ModelDynamic {
 		dr, err := sim.ValidateDynamicContext(ctx, design, opt)

@@ -61,11 +61,11 @@ func main() {
 	}
 
 	// Pump-mode comparison.
-	flowDriven, err := ooc.Validate(design, ooc.ValidationOptions{})
+	flowDriven, err := ooc.Validate(design, ooc.DefaultValidationOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	pressureDriven, err := ooc.ValidatePressureDriven(design, ooc.ValidationOptions{})
+	pressureDriven, err := ooc.ValidatePressureDriven(design, ooc.DefaultValidationOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func main() {
 		fmt.Printf("  %-6s %g m³/s\n", m.Name, m.FlowRate.CubicMetresPerSecond())
 	}
 
-	rep, err := ooc.Validate(design, ooc.ValidationOptions{})
+	rep, err := ooc.Validate(design, ooc.DefaultValidationOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

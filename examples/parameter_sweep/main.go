@@ -53,7 +53,7 @@ func main() {
 				if err != nil {
 					log.Fatalf("µ=%g τ=%g sp=%g: %v", mu, tau, sp, err)
 				}
-				rep, err := ooc.Validate(design, ooc.ValidationOptions{})
+				rep, err := ooc.Validate(design, ooc.DefaultValidationOptions())
 				if err != nil {
 					log.Fatalf("µ=%g τ=%g sp=%g: validate: %v", mu, tau, sp, err)
 				}

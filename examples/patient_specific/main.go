@@ -72,7 +72,7 @@ func main() {
 			m.Name, m.Kind, m.Width, m.Length, m.Perfusion*100)
 	}
 
-	rep, err := ooc.Validate(design, ooc.ValidationOptions{})
+	rep, err := ooc.Validate(design, ooc.DefaultValidationOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

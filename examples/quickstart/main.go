@@ -53,7 +53,7 @@ func main() {
 
 	// Validate re-solves the generated geometry under exact duct
 	// physics (the CFD substitute) and reports the deviations.
-	rep, err := ooc.Validate(design, ooc.ValidationOptions{})
+	rep, err := ooc.Validate(design, ooc.DefaultValidationOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

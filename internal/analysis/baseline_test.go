@@ -50,12 +50,12 @@ func TestParseBaselineTolerance(t *testing.T) {
 		t.Fatalf("ParseBaseline(tolerant input) = %d entries, err %v; want 1, nil", b.Len(), err)
 	}
 	for _, bad := range []string{
-		"ctxflow x.go \"msg\"",       // spaces, not tabs
-		"ctxflow\tx.go",              // missing message column
-		"ctxflow\tx.go\tmsg",         // unquoted message
-		"ctxflow\tx.go\t\"unclosed",  // bad quoting
-		"\tx.go\t\"msg\"",            // empty analyzer
-		"ctxflow\t\t\"msg\"",         // empty file
+		"ctxflow x.go \"msg\"",      // spaces, not tabs
+		"ctxflow\tx.go",             // missing message column
+		"ctxflow\tx.go\tmsg",        // unquoted message
+		"ctxflow\tx.go\t\"unclosed", // bad quoting
+		"\tx.go\t\"msg\"",           // empty analyzer
+		"ctxflow\t\t\"msg\"",        // empty file
 	} {
 		if _, err := ParseBaseline([]byte(bad)); err == nil {
 			t.Errorf("ParseBaseline(%q) accepted a malformed line", bad)

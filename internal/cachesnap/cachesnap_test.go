@@ -21,8 +21,7 @@ func sample() *Snapshot {
 			{Key: "validate|numeric|mg|text|{}", Status: 200, ContentType: "text/plain; charset=utf-8", Body: []byte{0x00, 0xff, 0x7f}},
 		},
 		CrossSections: []CrossSectionEntry{
-			{Aspect: 1, N: 32, Scheme: "sor", Value: 0.03512462971844,
-			},
+			{Aspect: 1, N: 32, Scheme: "sor", Value: 0.03512462971844},
 			{Aspect: math.Nextafter(2, 3), N: 64, Scheme: "mg", Value: 1.0 / 3.0},
 		},
 	}

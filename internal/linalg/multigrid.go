@@ -156,7 +156,7 @@ func restrictFullWeighting(fine, coarse *mgLevel, workers int) {
 	parallel.Rows(coarse.ny-2, workers, func(lo, hi int) {
 		for jj := lo; jj < hi; jj++ {
 			J := jj + 1
-			k := 2*J*fnx // fine row of this coarse row
+			k := 2 * J * fnx // fine row of this coarse row
 			for I := 1; I < cnx-1; I++ {
 				c := k + 2*I
 				coarse.f[J*cnx+I] = (4*fine.r[c] +

@@ -197,7 +197,7 @@ type Candidate struct {
 	MinGap        units.Length
 	// Rung is the fidelity rung the evaluation ran at (0 for the grid
 	// strategy; halving candidates appear once per rung they reached).
-	Rung int
+	Rung     int
 	Feasible bool
 	// Score is the objective value (lower is better); NaN when the
 	// candidate failed to generate.

@@ -143,7 +143,7 @@ func Check(d *core.Design) (*Review, error) {
 	}
 
 	// 2. Validation-derived checks (shear window).
-	rep, err := sim.Validate(d, sim.Options{})
+	rep, err := sim.Validate(d, sim.DefaultOptions())
 	if err != nil {
 		return nil, fmt.Errorf("review: %w", err)
 	}

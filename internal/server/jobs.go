@@ -35,7 +35,9 @@ type jobRequest struct {
 	// Strategy: grid (default) or halving.
 	Strategy string `json:"strategy,omitempty"`
 	// Model/Scheme/NumericResolution pick the full-fidelity validation
-	// configuration (the final rung under halving).
+	// configuration (the final rung under halving). Submitting with
+	// ?error_budget= auto-selects Model and NumericResolution from the
+	// calibration table instead; an explicit Model wins over the budget.
 	Model             string `json:"model,omitempty"`
 	Scheme            string `json:"scheme,omitempty"`
 	NumericResolution int    `json:"numeric_resolution,omitempty"`
@@ -206,6 +208,25 @@ func (s *Server) parseJobRequest(w http.ResponseWriter, r *http.Request) (jobs.R
 	}
 	opt.Sim.Scheme = scheme
 	opt.Sim.NumericResolution = in.NumericResolution
+
+	// ?error_budget= auto-selects the full-fidelity rung from the
+	// calibration table, exactly like the synchronous endpoints; an
+	// explicit "model" in the body wins over the budget. Selection runs
+	// after the resolution assignment above so the rung's resolution is
+	// authoritative.
+	errBudget, err := s.parseBudgetQuery(r.URL.Query().Get("error_budget"), in.Model != "")
+	if err != nil {
+		return jobs.Request{}, err
+	}
+	if errBudget != 0 {
+		rung, err := s.selectRung(spec.Name, errBudget)
+		if err != nil {
+			return jobs.Request{}, err
+		}
+		rung.Apply(&opt.Sim)
+		opt.Sim.ErrorBudget = errBudget
+		w.Header().Set("X-OOC-Model-Selected", rung.Name)
+	}
 
 	opt.Constraints = optimize.DefaultConstraints()
 	if in.MaxFlowDeviation != nil {

@@ -47,6 +47,14 @@ func renderMetrics(s obs.Summary, inflight, queued, jobsRunning, jobsQueued int6
 			fmt.Fprintf(&b, "ooc_jobs_rejected_total %d\n", c.Value)
 		case len(parts) == 3 && parts[0] == "jobs" && parts[1] == "completed":
 			fmt.Fprintf(&b, "ooc_jobs_completed_total{state=%q} %d\n", parts[2], c.Value)
+		case len(parts) == 3 && parts[0] == "modelsel" && parts[1] == "selected":
+			// modelsel.selected.<rung> — rung names ("approx",
+			// "numeric@32") contain no dot, so the split is exact.
+			fmt.Fprintf(&b, "ooc_model_selected_total{rung=%q} %d\n", parts[2], c.Value)
+		case c.Name == "modelsel.explicit_override":
+			fmt.Fprintf(&b, "ooc_model_selection_overridden_total %d\n", c.Value)
+		case c.Name == "modelsel.unmeetable":
+			fmt.Fprintf(&b, "ooc_model_selection_unmeetable_total %d\n", c.Value)
 		case len(parts) == 4 && parts[0] == "optimize" && parts[1] == "halving":
 			// optimize.halving.rung<N>.evaluated|kept
 			fmt.Fprintf(&b, "ooc_halving_rung_%s_total{rung=%q} %d\n",
@@ -64,6 +72,10 @@ func renderMetrics(s obs.Summary, inflight, queued, jobsRunning, jobsQueued int6
 		if strings.HasPrefix(t.Name, "job.") {
 			family = "ooc_job_duration_micros"
 			endpoint = strings.TrimPrefix(t.Name, "job.")
+		}
+		if t.Name == "modelsel.select" {
+			family = "ooc_model_selection_duration_micros"
+			endpoint = "select"
 		}
 		var cum int64
 		for _, bk := range t.Buckets {

@@ -19,13 +19,26 @@
 //
 // Endpoints:
 //
-//	POST /v1/design             spec in → generated design (JSON)
+//	POST /v1/design             spec in → generated design (JSON);
+//	                            ?error_budget= echoes the rung model
+//	                            selection would pick for validation in
+//	                            the X-OOC-Model-Selected header
 //	POST /v1/validate?model=m&scheme=s
 //	                            spec in → validation report (JSON, or
 //	                            text via Accept: text/plain);
 //	                            m ∈ {exact, approx, numeric, dynamic},
 //	                            s ∈ {auto, sor, mg} (Poisson backend
 //	                            for the numeric model);
+//	                            ?error_budget=f (a fraction in (0, 1])
+//	                            instead of ?model= auto-selects the
+//	                            cheapest calibrated rung whose
+//	                            worst-case deviation from the
+//	                            numeric@128 reference fits the budget
+//	                            (internal/modelsel); the chosen rung is
+//	                            echoed in X-OOC-Model-Selected and in
+//	                            the report; an unmeetable budget is a
+//	                            400 naming the tightest achievable
+//	                            rung; an explicit ?model= wins;
 //	                            model=dynamic adds ?duration=,
 //	                            ?profile=, ?dose= and a time-series
 //	                            reply (CSV via Accept: text/csv); a
@@ -57,6 +70,7 @@ import (
 
 	"ooc/internal/core"
 	"ooc/internal/jobs"
+	"ooc/internal/modelsel"
 	"ooc/internal/obs"
 	"ooc/internal/parallel"
 	"ooc/internal/render"
@@ -109,6 +123,10 @@ type Config struct {
 	// Collector receives the serving telemetry. Default: a fresh
 	// process-lifetime collector (exposed via Collector()).
 	Collector *obs.Collector
+	// Calibration backs ?error_budget= model auto-selection. Default:
+	// the embedded calibration artifact (modelsel.Default()); tests may
+	// inject a synthetic table.
+	Calibration *modelsel.Table
 }
 
 // withDefaults materializes the documented defaults.
@@ -147,6 +165,12 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// calib backs ?error_budget= selection; calibErr remembers why it
+	// is unavailable (selection requests then answer 500 rather than
+	// silently serving an uncalibrated model).
+	calib    *modelsel.Table
+	calibErr error
+
 	// The pipeline entry points, swappable in tests to inject slow or
 	// counting stubs; production always uses core.GenerateContext,
 	// sim.ValidateContext, and sim.ValidateDynamicContext.
@@ -176,6 +200,10 @@ func New(cfg Config) *Server {
 		generate:        core.GenerateContext,
 		validate:        sim.ValidateContext,
 		validateDynamic: sim.ValidateDynamicContext,
+	}
+	s.calib = cfg.Calibration
+	if s.calib == nil {
+		s.calib, s.calibErr = modelsel.Default()
 	}
 	s.mux.HandleFunc("/v1/design", s.handleDesign)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
@@ -300,6 +328,52 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return ctx, cancel, budget, nil
 }
 
+// selectRung resolves an error budget onto the cheapest calibrated
+// fidelity rung for the use case, recording the selection telemetry:
+// a modelsel.selected.<rung> (or modelsel.unmeetable) counter and the
+// modelsel.select latency.
+func (s *Server) selectRung(useCase string, budget float64) (modelsel.Rung, error) {
+	if s.calib == nil {
+		return modelsel.Rung{}, fmt.Errorf("model selection unavailable: %w", s.calibErr)
+	}
+	selStart := time.Now()
+	rung, err := s.calib.Select(useCase, budget)
+	s.col.Observe("modelsel.select", time.Since(selStart))
+	if err != nil {
+		s.col.Add("modelsel.unmeetable", 1)
+		return modelsel.Rung{}, err
+	}
+	s.col.Add("modelsel.selected."+rung.Name, 1)
+	return rung, nil
+}
+
+// selectionResponse maps a selection failure onto its HTTP status: an
+// unmeetable budget is the client's problem (400, with the error
+// naming the tightest achievable rung), a missing calibration table is
+// ours (500).
+func selectionResponse(err error) response {
+	var um *modelsel.UnmeetableError
+	if errors.As(err, &um) {
+		return jsonError(http.StatusBadRequest, "%v", err)
+	}
+	return jsonError(http.StatusInternalServerError, "%v", err)
+}
+
+// parseBudgetQuery reads ?error_budget= from the query. An explicit
+// model choice always wins over the budget: the request asked for a
+// specific rung, so selection is skipped (and counted) rather than
+// second-guessed.
+func (s *Server) parseBudgetQuery(raw string, explicitModel bool) (float64, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	if explicitModel {
+		s.col.Add("modelsel.explicit_override", 1)
+		return 0, nil
+	}
+	return modelsel.ParseBudget(raw)
+}
+
 // handleDesign serves POST /v1/design: specification in, generated
 // design out (the render.JSON document, reloadable with
 // ooc.LoadDesignJSON).
@@ -313,6 +387,23 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.reply(w, "design", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
+	}
+	// Design generation is model-independent, so ?error_budget= here
+	// only answers the selection question (which rung would validation
+	// use?) via the X-OOC-Model-Selected header — the cached body is
+	// shared with budget-less requests.
+	errBudget, err := s.parseBudgetQuery(r.URL.Query().Get("error_budget"), false)
+	if err != nil {
+		s.reply(w, "design", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
+	if errBudget != 0 {
+		rung, err := s.selectRung(spec.Name, errBudget)
+		if err != nil {
+			s.reply(w, "design", started, selectionResponse(err), false)
+			return
+		}
+		w.Header().Set("X-OOC-Model-Selected", rung.Name)
 	}
 	ctx, cancel, budget, err := s.requestContext(r)
 	if err != nil {
@@ -370,21 +461,32 @@ type validateResult struct {
 	PumpPressurePa   float64  `json:"pump_pressure_pa"`
 	KCLResidualM3S   float64  `json:"kcl_residual_m3s"`
 	Degradations     []string `json:"degradations,omitempty"`
+	// ErrorBudget/ModelSelected record an ?error_budget= auto-selection
+	// (absent on fixed-model requests).
+	ErrorBudget   float64 `json:"error_budget,omitempty"`
+	ModelSelected string  `json:"model_selected,omitempty"`
 }
 
 // renderValidation renders a report as JSON or, when the client asked
 // for text/plain, as the human-readable Fig. 4-style listing from
 // internal/report.
-func renderValidation(rep *sim.Report, model sim.Model, wantText bool) (response, error) {
+func renderValidation(rep *sim.Report, model sim.Model, wantText bool, sel *modelsel.Rung, errBudget float64) (response, error) {
 	if wantText {
 		var b strings.Builder
 		b.WriteString(report.FormatFig4(rep))
 		fmt.Fprintf(&b, "aggregate: flow dev avg %.2f%% max %.2f%% | perfusion dev avg %.2f%% max %.2f%%\n",
 			rep.AvgFlowDeviation*100, rep.MaxFlowDeviation*100,
 			rep.AvgPerfDeviation*100, rep.MaxPerfDeviation*100)
+		if sel != nil {
+			fmt.Fprintf(&b, "model auto-selected: %s (error budget %g)\n", sel.Name, errBudget)
+		}
 		return response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: []byte(b.String())}, nil
 	}
 	out := makeValidateResult(rep, model)
+	if sel != nil {
+		out.ErrorBudget = errBudget
+		out.ModelSelected = sel.Name
+	}
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return response{}, fmt.Errorf("rendering report: %w", err)
@@ -439,7 +541,13 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, "validate", started, jsonError(http.StatusMethodNotAllowed, "POST a specification document"), false)
 		return
 	}
-	model, err := sim.ParseModel(r.URL.Query().Get("model"))
+	modelParam := r.URL.Query().Get("model")
+	model, err := sim.ParseModel(modelParam)
+	if err != nil {
+		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
+		return
+	}
+	errBudget, err := s.parseBudgetQuery(r.URL.Query().Get("error_budget"), modelParam != "")
 	if err != nil {
 		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
@@ -466,6 +574,23 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.reply(w, "validate", started, jsonError(http.StatusBadRequest, "%v", err), false)
 		return
+	}
+	// Budget selection waits for the parsed spec so the per-use-case
+	// calibration bound (keyed by the spec's name) applies; unknown
+	// names fall back to the global bound. The selected rung replaces
+	// the model for the rest of the request and is echoed in the
+	// X-OOC-Model-Selected header — set before the cache consult so
+	// hits echo it too.
+	var sel *modelsel.Rung
+	if errBudget != 0 {
+		rung, err := s.selectRung(spec.Name, errBudget)
+		if err != nil {
+			s.reply(w, "validate", started, selectionResponse(err), false)
+			return
+		}
+		sel = &rung
+		model = rung.Model
+		w.Header().Set("X-OOC-Model-Selected", rung.Name)
 	}
 	ctx, cancel, budget, err := s.requestContext(r)
 	if err != nil {
@@ -499,6 +624,12 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if model == sim.ModelDynamic {
 		variant += "|" + dopt.CacheKey()
 	}
+	// A budget-selected response embeds the budget and the chosen rung
+	// (body and header), so it must never alias a fixed-model entry for
+	// the same spec — the budget and rung join the key.
+	if sel != nil {
+		variant += fmt.Sprintf("|budget=%g|rung=%s", errBudget, sel.Name)
+	}
 	cacheKey := fmt.Sprintf("validate|%s|%s|%s|%s", variant, scheme, rendering, key)
 
 	resp, hit, err := s.cache.do(ctx, s.col, cacheKey, func() (response, bool, error) {
@@ -513,7 +644,14 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return jsonError(http.StatusUnprocessableEntity, "generate: %v", err), false, nil
 		}
-		opt := sim.Options{Model: model, Scheme: scheme, Dynamic: dopt}
+		opt := sim.DefaultOptions()
+		opt.Model = model
+		opt.Scheme = scheme
+		opt.Dynamic = dopt
+		if sel != nil {
+			sel.Apply(&opt)
+			opt.ErrorBudget = errBudget
+		}
 		if model == sim.ModelDynamic {
 			dr, err := s.validateDynamic(ctx, d, opt)
 			if err != nil {
@@ -535,7 +673,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 			}
 			return jsonError(http.StatusUnprocessableEntity, "validate: %v", err), false, nil
 		}
-		out, err := renderValidation(rep, model, rendering == "text")
+		out, err := renderValidation(rep, model, rendering == "text", sel, errBudget)
 		if err != nil {
 			return response{}, false, err
 		}

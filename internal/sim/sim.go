@@ -87,6 +87,35 @@ type Options struct {
 	// DefaultDynamicOptions) — a zero Dynamic is a validation error,
 	// never a silent default.
 	Dynamic DynamicOptions
+	// ErrorBudget records the accuracy budget (a deviation fraction in
+	// (0, 1]) that auto-selected this Model/NumericResolution pair via
+	// internal/modelsel, for provenance in reports and telemetry. Zero
+	// means no budget was involved — the model was chosen explicitly.
+	// Validation range-checks it but never re-selects: selection
+	// happens at the edges (server handlers, CLI flag resolution),
+	// where "the client pinned a model explicitly" is knowable.
+	ErrorBudget float64
+}
+
+// DefaultOptions returns the documented default validation options:
+// the exact analytic model, bend and junction losses enabled, the
+// default numeric resolution and auto Poisson scheme, serial build
+// width, and no error budget. Every default is the zero value today,
+// but construct Options through this function anyway — a literal
+// claims every explicit zero is deliberate, and future fields keep
+// their documented defaults only on this path.
+func DefaultOptions() Options {
+	return Options{}
+}
+
+// checkErrorBudget rejects an out-of-range ErrorBudget before any
+// solve work: zero disables the provenance field, anything else must
+// be a usable deviation fraction.
+func (o Options) checkErrorBudget() error {
+	if o.ErrorBudget != 0 && (math.IsNaN(o.ErrorBudget) || o.ErrorBudget < 0 || o.ErrorBudget > 1) {
+		return fmt.Errorf("sim: error budget %g out of range (want a fraction in (0, 1], like 0.02 for 2%%)", o.ErrorBudget)
+	}
+	return nil
 }
 
 // buildWorkers resolves Options.Workers for the per-channel build.
@@ -437,6 +466,9 @@ func Validate(d *core.Design, opt Options) (*Report, error) {
 // downgraded channels in Report.Degradations (the obs collector
 // carried by ctx counts them too).
 func ValidateContext(ctx context.Context, d *core.Design, opt Options) (*Report, error) {
+	if err := opt.checkErrorBudget(); err != nil {
+		return nil, err
+	}
 	if opt.Model == ModelDynamic {
 		dr, err := ValidateDynamicContext(ctx, d, opt)
 		if err != nil {

@@ -29,7 +29,7 @@
 //	}
 //	design, err := ooc.Generate(spec)
 //	...
-//	report, err := ooc.Validate(design, ooc.ValidationOptions{})
+//	report, err := ooc.Validate(design, ooc.DefaultValidationOptions())
 package ooc
 
 import (
@@ -176,6 +176,11 @@ type (
 	// ModuleResult is one module's spec-vs-achieved comparison.
 	ModuleResult = sim.ModuleResult
 )
+
+// DefaultValidationOptions returns the documented validation defaults
+// (exact model, auto Poisson scheme, no error budget) — the intended
+// starting point before overriding fields.
+func DefaultValidationOptions() ValidationOptions { return sim.DefaultOptions() }
 
 // Validation models.
 const (

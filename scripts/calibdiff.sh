@@ -1,0 +1,20 @@
+#!/bin/sh
+# Calibration-drift gate: re-run the offline fidelity-ladder
+# calibration sweep and compare every per-use-case deviation bound
+# against the committed artifact (internal/modelsel/CALIB.json by
+# default, override with $1). The bounds are bit-deterministic for a
+# fixed grid, so any drift means a physics/solver change moved the
+# accuracy ladder and the artifact — and the ?error_budget= selections
+# derived from it — is stale. Exits nonzero listing every drifted
+# cell; regenerate deliberately when the change is intended:
+#
+#	go run ./cmd/oocbench -calibrate > internal/modelsel/CALIB.json
+#
+# The tolerance lives in cmd/oocbench (-calib-tol) and only absorbs
+# cross-platform floating point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-internal/modelsel/CALIB.json}"
+exec go run ./cmd/oocbench -calibrate -diff "$BASELINE"

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Extended verification: build, vet, race-enabled tests, and the
-# repo's own domain-aware static analysis (ooclint). CI and local
-# pre-merge runs should both go through this script.
+# Extended verification: formatting/tidy hygiene, build, vet,
+# race-enabled tests, and the repo's own domain-aware static analysis
+# (ooclint). CI and local pre-merge runs should both go through this
+# script.
 #
 # Every artifact (smoke binaries, daemon logs) lives in a private
 # mktemp directory, so concurrent runs — two CI jobs on one runner, a
@@ -25,6 +26,24 @@ step() {
     _t1=$(date +%s)
     printf '  %-22s %4ds\n' "$_name" "$((_t1 - _t0))" >> "$TIMINGS"
 }
+
+# Hygiene: the tree must be gofmt-clean (testdata is excluded — the
+# analyzer fixtures pin exact source positions) and go.mod/go.sum must
+# already be tidy. Both checks print the offending files/diff, so a
+# failure is immediately actionable.
+hygiene() {
+    _unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+    if [ -n "$_unformatted" ]; then
+        echo "gofmt: the following files need formatting (gofmt -w):" >&2
+        echo "$_unformatted" >&2
+        return 1
+    fi
+    go mod tidy -diff || {
+        echo "go.mod/go.sum are not tidy — run: go mod tidy" >&2
+        return 1
+    }
+}
+step hygiene hygiene
 
 step build go build ./...
 step vet go vet ./...
@@ -147,6 +166,25 @@ oocd_smoke() {
     stop_oocd
 }
 step oocd-smoke oocd_smoke
+
+# Budget smoke: accuracy-budgeted model auto-selection end to end. An
+# ?error_budget= request must select a non-numeric rung from the
+# embedded calibration table (1% comfortably admits the approx rung),
+# echo it in X-OOC-Model-Selected and the report body, and an
+# identical repeat must be a response-cache hit carrying the same
+# header. An unmeetable budget must be a 400 naming the tightest
+# achievable rung, and an explicit ?model= must win over the budget.
+# All probed by oocload -budget-probe, no curl needed.
+budget_smoke() {
+    start_oocd "$WORK/budget-oocd.out" -addr 127.0.0.1:0 || return 1
+    timeout 60 "$WORK/oocload" -url "http://$ADDR" -budget-probe || {
+        echo "oocd budget probe failed" >&2
+        kill "$OOCD_PID" 2>/dev/null || true
+        return 1
+    }
+    stop_oocd
+}
+step budget-smoke budget_smoke
 
 # Dynamic smoke: the transient tier end to end. A pulsatile dosed
 # oocsim run on the Fig. 4 chip must saturate every organ at the dose

@@ -1,21 +1,30 @@
 #!/bin/sh
 # Coverage gate: run the full test suite with statement coverage and
 # fail when the total drops below the checked-in floor. The floor is
-# deliberately a few points under the measured value (79.7% when this
-# gate landed), so it trips on real coverage erosion — a new untested
+# deliberately a few points under the measured value (80.4% when last
+# raised), so it trips on real coverage erosion — a new untested
 # subsystem — without flaking on small refactors. Raise it as coverage
 # grows; never lower it to make a PR pass.
+#
+# Set COVER_PROFILE to keep the profile at a known path (CI uploads it
+# as an artifact on failure); by default it lives in a private mktemp
+# directory that is removed on exit.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-FLOOR=75.0
+FLOOR=77.0
 
-WORK=$(mktemp -d "${TMPDIR:-/tmp}/ooc-cover.XXXXXX")
-trap 'rm -rf "$WORK"' EXIT INT TERM
+if [ -n "${COVER_PROFILE:-}" ]; then
+    PROFILE=$COVER_PROFILE
+else
+    WORK=$(mktemp -d "${TMPDIR:-/tmp}/ooc-cover.XXXXXX")
+    trap 'rm -rf "$WORK"' EXIT INT TERM
+    PROFILE="$WORK/cover.out"
+fi
 
-go test -count=1 -coverprofile="$WORK/cover.out" ./...
-TOTAL=$(go tool cover -func="$WORK/cover.out" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+go test -count=1 -coverprofile="$PROFILE" ./...
+TOTAL=$(go tool cover -func="$PROFILE" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
 [ -n "$TOTAL" ] || {
     echo "coverage.sh: could not extract the total from the profile" >&2
     exit 1
